@@ -1,0 +1,132 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Used throughout the workspace's test suites to validate analytic
+//! gradients: the autograd ops, the coupling-layer Jacobians, and the
+//! adjoint sensitivities of the circuit and photonic simulators.
+
+use crate::{ParamStore, Tensor};
+
+/// Central finite-difference gradient of a scalar function of a vector.
+///
+/// # Example
+///
+/// ```
+/// use nofis_autograd::check::finite_difference;
+///
+/// let grad = finite_difference(|x| x[0] * x[0] + 3.0 * x[1], &[2.0, 0.0], 1e-6);
+/// assert!((grad[0] - 4.0).abs() < 1e-5);
+/// assert!((grad[1] - 3.0).abs() < 1e-5);
+/// ```
+pub fn finite_difference(mut f: impl FnMut(&[f64]) -> f64, x: &[f64], eps: f64) -> Vec<f64> {
+    let mut xp = x.to_vec();
+    let mut grad = vec![0.0; x.len()];
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + eps;
+        let fp = f(&xp);
+        xp[i] = orig - eps;
+        let fm = f(&xp);
+        xp[i] = orig;
+        grad[i] = (fp - fm) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Central finite-difference gradients of a scalar loss with respect to
+/// every parameter in `store`.
+///
+/// `loss` is re-evaluated with each scalar parameter perturbed by `±eps`;
+/// the store is restored to its original contents before returning.
+pub fn numeric_param_grads(
+    store: &mut ParamStore,
+    mut loss: impl FnMut(&ParamStore) -> f64,
+    eps: f64,
+) -> Vec<Tensor> {
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        let shape = store.get(id).shape();
+        let mut grad = Tensor::zeros(shape.0, shape.1);
+        for k in 0..store.get(id).len() {
+            let orig = store.get(id).as_slice()[k];
+            store.get_mut(id).as_mut_slice()[k] = orig + eps;
+            let fp = loss(store);
+            store.get_mut(id).as_mut_slice()[k] = orig - eps;
+            let fm = loss(store);
+            store.get_mut(id).as_mut_slice()[k] = orig;
+            grad.as_mut_slice()[k] = (fp - fm) / (2.0 * eps);
+        }
+        out.push(grad);
+    }
+    out
+}
+
+/// Maximum relative disagreement between two gradients, using
+/// `|a-b| / max(1, |a|, |b|)` so tiny gradients compare absolutely.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_rel_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "gradient length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn finite_difference_quadratic() {
+        let g = finite_difference(|x| x.iter().map(|v| v * v).sum(), &[1.0, -2.0, 3.0], 1e-6);
+        let expected = [2.0, -4.0, 6.0];
+        assert!(max_rel_error(&g, &expected) < 1e-6);
+    }
+
+    #[test]
+    fn autograd_matches_numeric_for_mlp_like_composite() {
+        // loss(w) = mean( tanh(x@w) ^ 2 ) for fixed x
+        let x = Tensor::from_vec(4, 3, (0..12).map(|i| (i as f64) * 0.1 - 0.5).collect());
+        let mut store = ParamStore::new();
+        let w = store.add(Tensor::from_vec(3, 2, vec![0.3, -0.2, 0.1, 0.4, -0.5, 0.2]));
+
+        let analytic = {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let wv = store.inject(&mut g, w);
+            let h = g.matmul(xv, wv);
+            let t = g.tanh(h);
+            let sq = g.square(t);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.param_grads().remove(0).1
+        };
+
+        let numeric = numeric_param_grads(
+            &mut store,
+            |s| {
+                let mut g = Graph::new();
+                let xv = g.constant(x.clone());
+                let wv = g.constant(s.get(w).clone());
+                let h = g.matmul(xv, wv);
+                let t = g.tanh(h);
+                let sq = g.square(t);
+                let loss = g.mean_all(sq);
+                g.value(loss).item()
+            },
+            1e-6,
+        )
+        .remove(0);
+
+        assert!(max_rel_error(analytic.as_slice(), numeric.as_slice()) < 1e-7);
+    }
+
+    #[test]
+    fn rel_error_handles_zero_gradients() {
+        assert_eq!(max_rel_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,688 @@
+use crate::Tensor;
+
+/// Identifier of a parameter tensor registered with a
+/// [`ParamStore`](crate::ParamStore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of this parameter within its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var`s are cheap copies; all operations live on [`Graph`] and take
+/// `Var` operands, e.g. `g.add(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant leaf: gradients stop here.
+    Leaf,
+    /// Parameter leaf: gradients are collected per [`ParamId`].
+    Param(ParamId),
+    Add(Var, Var),
+    /// `[N,D] + [1,D]` broadcast add (bias).
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[N,D] * [1,D]` broadcast multiply (masks).
+    MulRow(Var, Var),
+    Matmul(Var, Var),
+    Scale(Var, f64),
+    AddScalar(Var),
+    Neg(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Softplus(Var),
+    Relu(Var),
+    Exp(Var),
+    Ln(Var),
+    Square(Var),
+    /// Elementwise `min(x, c)`.
+    MinScalar(Var, f64),
+    /// `[N,D] -> 1x1` sum of all entries.
+    SumAll(Var),
+    /// `[N,D] -> 1x1` mean of all entries.
+    MeanAll(Var),
+    /// `[N,D] -> [N,1]` per-row sum.
+    SumCols(Var),
+    /// Externally differentiated row-wise function `R^D -> R`; `grads` holds
+    /// the `[N,D]` Jacobian rows computed by the caller during the forward
+    /// pass.
+    External { input: Var, grads: Tensor },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A dynamically built computation tape supporting reverse-mode
+/// differentiation.
+///
+/// Build a fresh `Graph` per training step, inject parameters with
+/// [`Graph::param`], compose operations, call [`Graph::backward`] on a
+/// scalar loss, and read parameter gradients back with
+/// [`Graph::param_grads`].
+///
+/// # Example
+///
+/// ```
+/// use nofis_autograd::{Graph, Tensor};
+///
+/// let mut g = Graph::new();
+/// let x = g.constant(Tensor::from_row(&[3.0]));
+/// let y = g.square(x);          // y = x^2
+/// let loss = g.sum_all(y);
+/// g.backward(loss);
+/// assert_eq!(g.grad(x).unwrap().as_slice(), &[6.0]); // dy/dx = 2x
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the last [`Graph::backward`] loss with respect to
+    /// `v`, if `v` participated.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Adds a constant leaf (no gradient flows past it).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Adds a parameter leaf whose gradient will be reported by
+    /// [`Graph::param_grads`] under `id`.
+    pub fn param(&mut self, id: ParamId, t: Tensor) -> Var {
+        self.push(t, Op::Param(id))
+    }
+
+    /// Elementwise addition of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        self.push(out, Op::Add(a, b))
+    }
+
+    /// Broadcast addition `[N,D] + [1,D]` (e.g. adding a bias row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1 x D` with `D` matching `a`'s columns.
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (n, d) = self.value(a).shape();
+        assert_eq!(
+            self.value(b).shape(),
+            (1, d),
+            "add_row rhs must be 1x{d}, got {:?}",
+            self.value(b).shape()
+        );
+        let mut out = self.value(a).clone();
+        for r in 0..n {
+            for c in 0..d {
+                out[(r, c)] += self.value(b)[(0, c)];
+            }
+        }
+        self.push(out, Op::AddRow(a, b))
+    }
+
+    /// Elementwise subtraction `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        self.push(out, Op::Sub(a, b))
+    }
+
+    /// Elementwise multiplication of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        self.push(out, Op::Mul(a, b))
+    }
+
+    /// Broadcast multiplication `[N,D] * [1,D]` (e.g. applying a mask row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1 x D` with `D` matching `a`'s columns.
+    pub fn mul_row(&mut self, a: Var, b: Var) -> Var {
+        let (n, d) = self.value(a).shape();
+        assert_eq!(
+            self.value(b).shape(),
+            (1, d),
+            "mul_row rhs must be 1x{d}, got {:?}",
+            self.value(b).shape()
+        );
+        let mut out = self.value(a).clone();
+        for r in 0..n {
+            for c in 0..d {
+                out[(r, c)] *= self.value(b)[(0, c)];
+            }
+        }
+        self.push(out, Op::MulRow(a, b))
+    }
+
+    /// Matrix product `a @ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).matmul(self.value(b));
+        self.push(out, Op::Matmul(a, b))
+    }
+
+    /// Multiplies every entry by the constant `s`.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let out = self.value(a).map(|x| x * s);
+        self.push(out, Op::Scale(a, s))
+    }
+
+    /// Adds the constant `s` to every entry.
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        let out = self.value(a).map(|x| x + s);
+        self.push(out, Op::AddScalar(a))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| -x);
+        self.push(out, Op::Neg(a))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f64::tanh);
+        self.push(out, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(sigmoid);
+        self.push(out, Op::Sigmoid(a))
+    }
+
+    /// Elementwise numerically stable softplus `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(softplus);
+        self.push(out, Op::Softplus(a))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| x.max(0.0));
+        self.push(out, Op::Relu(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f64::exp);
+        self.push(out, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f64::ln);
+        self.push(out, Op::Ln(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| x * x);
+        self.push(out, Op::Square(a))
+    }
+
+    /// Elementwise `min(x, c)` against the constant `c`.
+    ///
+    /// The subgradient passes where `x < c` and is zero elsewhere, matching
+    /// the convention used by the tempered NOFIS loss.
+    pub fn min_scalar(&mut self, a: Var, c: f64) -> Var {
+        let out = self.value(a).map(|x| x.min(c));
+        self.push(out, Op::MinScalar(a, c))
+    }
+
+    /// Sum of all entries, producing a `1 x 1` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let out = Tensor::scalar(self.value(a).sum());
+        self.push(out, Op::SumAll(a))
+    }
+
+    /// Mean of all entries, producing a `1 x 1` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let out = Tensor::scalar(self.value(a).mean());
+        self.push(out, Op::MeanAll(a))
+    }
+
+    /// Per-row sum, mapping `[N,D] -> [N,1]`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let (n, _) = self.value(a).shape();
+        let mut out = Tensor::zeros(n, 1);
+        for r in 0..n {
+            out[(r, 0)] = self.value(a).row(r).iter().sum();
+        }
+        self.push(out, Op::SumCols(a))
+    }
+
+    /// Applies an externally differentiated row-wise function
+    /// `f : R^D -> R` to each row of `a`.
+    ///
+    /// `f(row)` must return `(value, gradient)` where `gradient` has length
+    /// `D`; the gradient is stored on the tape and used verbatim during
+    /// [`Graph::backward`]. This is how black-box-but-differentiable
+    /// simulators (circuit solvers, BPM, ODE models) enter the NOFIS loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a gradient whose length differs from `D`.
+    pub fn external_rowwise(
+        &mut self,
+        a: Var,
+        mut f: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    ) -> Var {
+        let (n, d) = self.value(a).shape();
+        let mut out = Tensor::zeros(n, 1);
+        let mut grads = Tensor::zeros(n, d);
+        for r in 0..n {
+            let (v, grad) = f(self.value(a).row(r));
+            assert_eq!(
+                grad.len(),
+                d,
+                "external gradient has length {} but input has {d} columns",
+                grad.len()
+            );
+            out[(r, 0)] = v;
+            grads.row_mut(r).copy_from_slice(&grad);
+        }
+        self.push(out, Op::External { input: a, grads })
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss` node.
+    ///
+    /// Gradients accumulate on every node reachable from `loss`; read them
+    /// with [`Graph::grad`] or collect parameter gradients via
+    /// [`Graph::param_grads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1 x 1` tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward requires a scalar (1x1) loss"
+        );
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(up) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            // Take the op out to appease the borrow checker, then restore it.
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+            self.apply_backward(i, &op, &up);
+            self.nodes[i].op = op;
+            self.nodes[i].grad = Some(up);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Tensor) {
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn apply_backward(&mut self, node: usize, op: &Op, up: &Tensor) {
+        match *op {
+            Op::Leaf | Op::Param(_) => {}
+            Op::Add(a, b) => {
+                self.accumulate(a, up.clone());
+                self.accumulate(b, up.clone());
+            }
+            Op::AddRow(a, b) => {
+                self.accumulate(a, up.clone());
+                let (n, d) = up.shape();
+                let mut gb = Tensor::zeros(1, d);
+                for r in 0..n {
+                    for c in 0..d {
+                        gb[(0, c)] += up[(r, c)];
+                    }
+                }
+                self.accumulate(b, gb);
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, up.clone());
+                self.accumulate(b, up.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let ga = up.zip_map(self.value(b), |u, y| u * y);
+                let gb = up.zip_map(self.value(a), |u, x| u * x);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::MulRow(a, b) => {
+                let (n, d) = up.shape();
+                let mut ga = Tensor::zeros(n, d);
+                let mut gb = Tensor::zeros(1, d);
+                for r in 0..n {
+                    for c in 0..d {
+                        ga[(r, c)] = up[(r, c)] * self.value(b)[(0, c)];
+                        gb[(0, c)] += up[(r, c)] * self.value(a)[(r, c)];
+                    }
+                }
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Matmul(a, b) => {
+                let ga = up.matmul(&self.value(b).transpose());
+                let gb = self.value(a).transpose().matmul(up);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Scale(a, s) => self.accumulate(a, up.map(|x| x * s)),
+            Op::AddScalar(a) => self.accumulate(a, up.clone()),
+            Op::Neg(a) => self.accumulate(a, up.map(|x| -x)),
+            Op::Tanh(a) => {
+                let g = up.zip_map(&self.nodes[node].value, |u, y| u * (1.0 - y * y));
+                self.accumulate(a, g);
+            }
+            Op::Sigmoid(a) => {
+                let g = up.zip_map(&self.nodes[node].value, |u, y| u * y * (1.0 - y));
+                self.accumulate(a, g);
+            }
+            Op::Softplus(a) => {
+                let g = up.zip_map(self.value(a), |u, x| u * sigmoid(x));
+                self.accumulate(a, g);
+            }
+            Op::Relu(a) => {
+                let g = up.zip_map(self.value(a), |u, x| if x > 0.0 { u } else { 0.0 });
+                self.accumulate(a, g);
+            }
+            Op::Exp(a) => {
+                let g = up.zip_map(&self.nodes[node].value, |u, y| u * y);
+                self.accumulate(a, g);
+            }
+            Op::Ln(a) => {
+                let g = up.zip_map(self.value(a), |u, x| u / x);
+                self.accumulate(a, g);
+            }
+            Op::Square(a) => {
+                let g = up.zip_map(self.value(a), |u, x| u * 2.0 * x);
+                self.accumulate(a, g);
+            }
+            Op::MinScalar(a, c) => {
+                let g = up.zip_map(self.value(a), |u, x| if x < c { u } else { 0.0 });
+                self.accumulate(a, g);
+            }
+            Op::SumAll(a) => {
+                let (n, d) = self.value(a).shape();
+                self.accumulate(a, Tensor::filled(n, d, up.item()));
+            }
+            Op::MeanAll(a) => {
+                let (n, d) = self.value(a).shape();
+                let s = up.item() / (n * d) as f64;
+                self.accumulate(a, Tensor::filled(n, d, s));
+            }
+            Op::SumCols(a) => {
+                let (n, d) = self.value(a).shape();
+                let mut g = Tensor::zeros(n, d);
+                for r in 0..n {
+                    let u = up[(r, 0)];
+                    for c in 0..d {
+                        g[(r, c)] = u;
+                    }
+                }
+                self.accumulate(a, g);
+            }
+            Op::External { input, ref grads } => {
+                let (n, d) = grads.shape();
+                let mut g = Tensor::zeros(n, d);
+                for r in 0..n {
+                    let u = up[(r, 0)];
+                    for c in 0..d {
+                        g[(r, c)] = u * grads[(r, c)];
+                    }
+                }
+                self.accumulate(input, g);
+            }
+        }
+    }
+
+    /// Collects accumulated parameter gradients as `(id, grad)` pairs.
+    ///
+    /// If the same [`ParamId`] was injected more than once, its gradients
+    /// are summed. Parameters that did not participate in the last backward
+    /// pass are omitted.
+    pub fn param_grads(&self) -> Vec<(ParamId, Tensor)> {
+        let mut out: Vec<(ParamId, Tensor)> = Vec::new();
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
+                if let Some((_, acc)) = out.iter_mut().find(|(pid, _)| pid == id) {
+                    acc.axpy(1.0, g);
+                } else {
+                    out.push((*id, g.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + e^x)`.
+pub(crate) fn softplus(x: f64) -> f64 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_mul_gradients() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_row(&[2.0, 3.0]));
+        let b = g.constant(Tensor::from_row(&[4.0, 5.0]));
+        let prod = g.mul(a, b);
+        let s = g.sum_all(prod);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[4.0, 5.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.constant(Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        // dS/dA = 1 @ B^T
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        // dS/dB = A^T @ 1
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn chained_nonlinearities() {
+        // loss = sum(tanh(x)^2); d/dx = 2 tanh(x)(1 - tanh^2(x))
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_row(&[0.5]));
+        let t = g.tanh(x);
+        let sq = g.square(t);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        let th: f64 = 0.5_f64.tanh();
+        let expected = 2.0 * th * (1.0 - th * th);
+        assert!((g.grad(x).unwrap().as_slice()[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_add_row_sums_bias_grad() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(3, 2, vec![1.0; 6]));
+        let b = g.constant(Tensor::from_row(&[10.0, 20.0]));
+        let y = g.add_row(x, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[3.0, 3.0]);
+        assert_eq!(g.value(y)[(2, 1)], 21.0);
+    }
+
+    #[test]
+    fn mul_row_masks() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let m = g.constant(Tensor::from_row(&[1.0, 0.0]));
+        let y = g.mul_row(x, m);
+        assert_eq!(g.value(y).as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(g.grad(m).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn min_scalar_subgradient() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_row(&[-1.0, 1.0]));
+        let y = g.min_scalar(x, 0.0);
+        assert_eq!(g.value(y).as_slice(), &[-1.0, 0.0]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_cols_shapes_and_grad() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let y = g.sum_cols(x);
+        assert_eq!(g.value(y).shape(), (2, 1));
+        assert_eq!(g.value(y).as_slice(), &[6.0, 15.0]);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        assert!(g
+            .grad(x)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 0.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn external_rowwise_uses_supplied_gradient() {
+        // f(row) = 3*x0 - x1, grad = [3, -1]
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = g.external_rowwise(x, |row| (3.0 * row[0] - row[1], vec![3.0, -1.0]));
+        assert_eq!(g.value(y).as_slice(), &[1.0, 5.0]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[3.0, -1.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn param_grads_accumulate_across_reuse() {
+        let mut g = Graph::new();
+        let id = ParamId(0);
+        let w1 = g.param(id, Tensor::from_row(&[2.0]));
+        let w2 = g.param(id, Tensor::from_row(&[2.0]));
+        let prod = g.mul(w1, w2);
+        let loss = g.sum_all(prod);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].1.as_slice(), &[4.0]); // d(w*w)/dw for both copies
+    }
+
+    #[test]
+    fn backward_twice_is_idempotent() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_row(&[1.5]));
+        let y = g.exp(x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let first = g.grad(x).unwrap().as_slice()[0];
+        g.backward(loss);
+        let second = g.grad(x).unwrap().as_slice()[0];
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_row(&[1.0, 2.0]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn stable_sigmoid_softplus() {
+        assert!(sigmoid(800.0) > 0.999_999);
+        assert!(sigmoid(-800.0) < 1e-6);
+        assert!(softplus(-800.0).abs() < 1e-12);
+        assert!((softplus(800.0) - 800.0).abs() < 1e-9);
+    }
+}

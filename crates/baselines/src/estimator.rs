@@ -1,0 +1,37 @@
+use nofis_prob::LimitState;
+use rand::RngCore;
+
+/// A rare-event probability estimator, the common interface of the six
+/// baselines (and, via an adapter in the benchmark harness, NOFIS itself).
+///
+/// Implementations draw their entire simulator budget through `limit_state`
+/// — wrap it in a [`CountingOracle`](nofis_prob::CountingOracle) to meter
+/// calls.
+pub trait RareEventEstimator {
+    /// Short method name as printed in Table 1.
+    fn method_name(&self) -> &'static str;
+
+    /// Estimates `P[g(x) ≤ 0]`.
+    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Trivial;
+    impl RareEventEstimator for Trivial {
+        fn method_name(&self) -> &'static str {
+            "trivial"
+        }
+        fn estimate(&self, _: &dyn LimitState, _: &mut dyn RngCore) -> f64 {
+            0.5
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn RareEventEstimator> = Box::new(Trivial);
+        assert_eq!(boxed.method_name(), "trivial");
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the normalizing-flow kernels: coupling
+//! transforms, full-flow sampling/density, and one NOFIS training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nofis_autograd::{Graph, ParamStore, Tensor};
+use nofis_flows::RealNvp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn randomized_flow(dim: usize, layers: usize) -> (ParamStore, RealNvp) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let flow = RealNvp::new(&mut store, dim, layers, 32, 2.0, &mut rng);
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        for v in store.get_mut(id).as_mut_slice() {
+            *v += rng.gen_range(-0.2..0.2);
+        }
+    }
+    (store, flow)
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_transform");
+    for &dim in &[2usize, 16, 62] {
+        let (store, flow) = randomized_flow(dim, 8);
+        let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.3).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("forward", dim), &dim, |b, _| {
+            b.iter(|| flow.transform(&store, &x, 8))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", dim), &dim, |b, _| {
+            let (y, _) = flow.transform(&store, &x, 8);
+            b.iter(|| flow.inverse(&store, &y, 8))
+        });
+        group.bench_with_input(BenchmarkId::new("log_density", dim), &dim, |b, _| {
+            b.iter(|| flow.log_density(&store, &x, 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_training_step");
+    group.sample_size(10);
+    for &(dim, batch) in &[(2usize, 200usize), (16, 200), (62, 200)] {
+        let (store, flow) = randomized_flow(dim, 16);
+        let data = Tensor::from_fn(batch, dim, |r, c| ((r * dim + c) as f64 * 0.01).sin());
+        group.bench_with_input(BenchmarkId::new("forward_backward", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let x = g.constant(data.clone());
+                let (z, ld) = flow.forward_graph(&store, &mut g, x, 16);
+                let sq = g.square(z);
+                let ssq = g.sum_cols(sq);
+                let a = g.add(ld, ssq);
+                let loss = g.mean_all(a);
+                g.backward(loss);
+                g.param_grads().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_training_graph);
+criterion_main!(benches);

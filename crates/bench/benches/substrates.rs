@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks of the simulator substrates: one `g(x)`
+//! evaluation (and gradient) per test case — the unit cost every
+//! estimator's budget is denominated in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nofis_prob::LimitState;
+use nofis_testcases::registry::all_cases;
+
+fn bench_case_evaluations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("limit_state_value");
+    for entry in all_cases() {
+        let ls = (entry.make)();
+        let x: Vec<f64> = (0..entry.dim).map(|i| 0.3 * (i as f64 * 0.7).sin()).collect();
+        group.bench_function(entry.name, |b| b.iter(|| ls.value(&x)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("limit_state_value_grad");
+    group.sample_size(20);
+    for entry in all_cases() {
+        let ls = (entry.make)();
+        let x: Vec<f64> = (0..entry.dim).map(|i| 0.3 * (i as f64 * 0.7).sin()).collect();
+        group.bench_function(entry.name, |b| b.iter(|| ls.value_grad(&x)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_evaluations);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Threshold/golden-probability calibration utility.
+//!
+//! ```text
+//! calibrate --case <name> [--samples N] [--target P] [--sus] [--seed S]
+//! calibrate --all
+//! ```
+//!
+//! MC mode streams `N` base samples through the case's limit state and
+//! reports (a) the failure probability at the current thresholds, (b) the
+//! `target`-quantile of `g` (shift `g` by this to hit the target
+//! probability), and (c) a suggested NOFIS level ladder (the
+//! `0.1^m`-quantiles of `g` from a stored subsample).
+//!
+//! SUS mode runs subset simulation with several seeds for cases too
+//! expensive for direct MC (Y-branch).
+
+use nofis_baselines::sus_with_seed;
+use nofis_prob::{quantile, LimitState, StandardGaussian};
+use nofis_testcases::registry::all_cases;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+fn parse_args() -> (Option<String>, usize, f64, bool, u64, bool) {
+    let mut case = None;
+    let mut samples = 10_000_000usize;
+    let mut target = 0.0;
+    let mut sus = false;
+    let mut seed = 0u64;
+    let mut all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--case" => case = args.next(),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .map(|v| v as usize)
+                    .expect("--samples takes a number");
+            }
+            "--target" => {
+                target = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--target takes a probability");
+            }
+            "--sus" => sus = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--all" => all = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    (case, samples, target, sus, seed, all)
+}
+
+/// Max-heap entry for streaming bottom-K of g.
+#[derive(PartialEq)]
+struct HeapF64(f64);
+impl Eq for HeapF64 {}
+impl PartialOrd for HeapF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN g values")
+    }
+}
+
+fn calibrate_mc(ls: &dyn LimitState, samples: usize, target: f64, seed: u64) {
+    let base = StandardGaussian::new(ls.dim());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0u64;
+    // Bottom-K of g (max-heap of the K smallest values).
+    let k = ((target * samples as f64 * 3.0) as usize).clamp(200, 2_000_000);
+    let mut heap: BinaryHeap<HeapF64> = BinaryHeap::with_capacity(k + 1);
+    // Subsample for level suggestions.
+    let mut sub: Vec<f64> = Vec::with_capacity(200_000);
+    let sub_stride = (samples / 200_000).max(1);
+
+    let t0 = std::time::Instant::now();
+    for i in 0..samples {
+        let x = base.sample(&mut rng);
+        let g = ls.value(&x);
+        if g <= 0.0 {
+            hits += 1;
+        }
+        if heap.len() < k {
+            heap.push(HeapF64(g));
+        } else if g < heap.peek().expect("non-empty").0 {
+            heap.pop();
+            heap.push(HeapF64(g));
+        }
+        if i % sub_stride == 0 {
+            sub.push(g);
+        }
+    }
+    let pr = hits as f64 / samples as f64;
+    println!(
+        "case {:<22} n={:.1e}  P(g<=0) = {:.4e}  ({} hits, {:.1?})",
+        ls.name(),
+        samples as f64,
+        pr,
+        hits,
+        t0.elapsed()
+    );
+
+    if target > 0.0 {
+        let mut lows: Vec<f64> = heap.into_iter().map(|h| h.0).collect();
+        lows.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let rank = (target * samples as f64).round() as usize;
+        if rank >= 1 && rank <= lows.len() {
+            let q = lows[rank - 1];
+            println!(
+                "  target P = {target:.2e}: q_target(g) = {q:+.6e}  (shift: g' = g - ({q:+.6e}))"
+            );
+        } else {
+            println!(
+                "  target quantile rank {rank} outside stored bottom-K ({})",
+                lows.len()
+            );
+        }
+    }
+
+    // NOFIS level ladder suggestion from the subsample.
+    let mut msg = String::from("  suggested levels (0.1^m quantiles of g): ");
+    for m in 1..=4 {
+        let p = 0.1f64.powi(m);
+        if p * sub.len() as f64 >= 5.0 {
+            msg.push_str(&format!("{:.3}  ", quantile(&sub, p)));
+        }
+    }
+    println!("{msg}");
+}
+
+fn calibrate_sus(ls: &dyn LimitState, samples: usize) {
+    let mut estimates = Vec::new();
+    for seed in 0..5 {
+        let p = sus_with_seed(ls, samples, 12, seed);
+        println!("  SUS seed {seed}: {p:.4e}");
+        estimates.push(p);
+    }
+    let positive: Vec<f64> = estimates.iter().copied().filter(|&p| p > 0.0).collect();
+    if !positive.is_empty() {
+        let geo = (positive.iter().map(|p| p.ln()).sum::<f64>() / positive.len() as f64).exp();
+        println!(
+            "case {:<22} SUS geometric mean = {geo:.4e} over {} runs",
+            ls.name(),
+            positive.len()
+        );
+    }
+}
+
+fn main() {
+    let (case, samples, target, sus, seed, all) = parse_args();
+    let entries = all_cases();
+    let selected: Vec<_> = if all {
+        entries.iter().collect()
+    } else {
+        let name = case.expect("--case <name> or --all required").to_lowercase();
+        entries
+            .iter()
+            .filter(|e| e.name.to_lowercase().contains(&name))
+            .collect()
+    };
+    assert!(!selected.is_empty(), "no case matched");
+    for entry in selected {
+        let ls = (entry.make)();
+        let target = if target > 0.0 { target } else { entry.golden_pr };
+        if sus {
+            calibrate_sus(&ls, samples);
+        } else {
+            calibrate_mc(&ls, samples, target, seed);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Regenerates Figure 5: implementation-choice ablations on the three
+//! circuit cases (Opamp, Charge Pump, Y-branch).
+//!
+//! ```text
+//! fig5 [--part left|right|both] [--runs N] [--seed S] [--cases opamp,charge,y]
+//! ```
+//!
+//! * left: nominal vs NoFreeze vs LongThre (M = 9) vs SmallTemp (τ = 1).
+//! * right: log error vs temperature τ ∈ {1, 5, 10, 20, 50, 100, 200, 400}.
+
+use nofis_bench::cases::table1_configs;
+use nofis_bench::runner::run_method;
+use nofis_bench::NofisEstimator;
+use nofis_core::{Levels, NofisConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationResult {
+    case: String,
+    variant: String,
+    mean_log_error: f64,
+    std_log_error: f64,
+    mean_calls: f64,
+}
+
+fn variant_config(base: &NofisConfig, variant: &str) -> NofisConfig {
+    let mut cfg = base.clone();
+    match variant {
+        "Nominal" => {}
+        "NoFreeze" => cfg.freeze = false,
+        "LongThre" => {
+            // M = 9 with the same total budget: shrink epochs to compensate.
+            if let Levels::AdaptiveQuantile { max_stages, .. } = &mut cfg.levels {
+                let old = *max_stages;
+                *max_stages = 9;
+                cfg.epochs = (cfg.epochs * old / 9).max(3);
+            }
+        }
+        "SmallTemp" => cfg.tau = 1.0,
+        other => panic!("unknown variant {other}"),
+    }
+    cfg
+}
+
+fn main() {
+    let mut part = "both".to_string();
+    let mut runs = 3usize;
+    let mut seed = 42u64;
+    let mut case_filter = vec![
+        "opamp".to_string(),
+        "charge".to_string(),
+        "y-branch".to_string(),
+    ];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--part" => part = args.next().expect("--part left|right|both"),
+            "--runs" => runs = args.next().and_then(|v| v.parse().ok()).expect("--runs N"),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--cases" => {
+                case_filter = args
+                    .next()
+                    .expect("--cases list")
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .collect();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let circuits: Vec<_> = table1_configs()
+        .into_iter()
+        .filter(|c| {
+            let n = c.entry.name.to_lowercase();
+            case_filter.iter().any(|f| n.contains(f))
+        })
+        .collect();
+
+    let mut results: Vec<AblationResult> = Vec::new();
+
+    if part == "left" || part == "both" {
+        println!("=== Figure 5 (left): single-change ablations, {runs} runs each ===");
+        for case in &circuits {
+            for variant in ["Nominal", "NoFreeze", "LongThre", "SmallTemp"] {
+                let cfg = variant_config(&case.nofis, variant);
+                let est = NofisEstimator::new(cfg);
+                let res = run_method(&est, case, runs, seed);
+                println!(
+                    "{:<12} {:<10} log error {:.3} ± {:.3} ({:.1}K calls)",
+                    case.entry.name,
+                    variant,
+                    res.mean_log_error,
+                    res.std_log_error,
+                    res.mean_calls / 1e3
+                );
+                results.push(AblationResult {
+                    case: case.entry.name.to_string(),
+                    variant: variant.to_string(),
+                    mean_log_error: res.mean_log_error,
+                    std_log_error: res.std_log_error,
+                    mean_calls: res.mean_calls,
+                });
+            }
+        }
+    }
+
+    if part == "right" || part == "both" {
+        println!("=== Figure 5 (right): temperature sweep, {runs} runs each ===");
+        for case in &circuits {
+            for tau in [1.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0] {
+                let mut cfg = case.nofis.clone();
+                cfg.tau = tau;
+                let est = NofisEstimator::new(cfg);
+                let res = run_method(&est, case, runs, seed);
+                println!(
+                    "{:<12} tau = {tau:>5}: log error {:.3} ± {:.3}",
+                    case.entry.name, res.mean_log_error, res.std_log_error
+                );
+                results.push(AblationResult {
+                    case: case.entry.name.to_string(),
+                    variant: format!("tau={tau}"),
+                    mean_log_error: res.mean_log_error,
+                    std_log_error: res.std_log_error,
+                    mean_calls: res.mean_calls,
+                });
+            }
+        }
+    }
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig5.json",
+        serde_json::to_string_pretty(&results).expect("serializable"),
+    )
+    .expect("write results/fig5.json");
+    println!("\nwrote results/fig5.json");
+}

@@ -1,0 +1,254 @@
+//! Behavioral charge-pump bench for the Charge Pump test case (#8).
+//!
+//! The paper's charge pump (from Gao et al., ICCAD'19) is simulated at
+//! transistor level; its spec is the UP/DOWN current mismatch at the
+//! output. We model the two current paths behaviorally: each consists of a
+//! cascade of two square-law current mirrors, and 16 standard-Gaussian
+//! variables perturb the width and threshold voltage of all 8 mirror
+//! transistors. The mismatch `|I_up − I_down|` inherits the quadratic
+//! device behaviour and the two-sided, multi-region failure set of the real
+//! circuit.
+
+/// One square-law current mirror with per-device width/threshold
+/// perturbations.
+///
+/// The diode device sets `V_gs` from the input current; the output device
+/// copies it. Perturbations enter as `β → β·(1 + σ_w·xw)` and
+/// `V_th → V_th + σ_vt·xv`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Mirror {
+    /// Nominal gain factor `β = k' W/L` of both devices (A/V²).
+    beta: f64,
+    /// Nominal threshold voltage (V).
+    vth: f64,
+}
+
+impl Mirror {
+    /// Output current and its partial derivatives
+    /// `(i_out, d/d_iin, d/dxw1, d/dxv1, d/dxw2, d/dxv2)`.
+    fn evaluate(
+        &self,
+        i_in: f64,
+        sw: f64,
+        svt: f64,
+        xw1: f64,
+        xv1: f64,
+        xw2: f64,
+        xv2: f64,
+    ) -> (f64, [f64; 5]) {
+        let b1 = self.beta * (1.0 + sw * xw1).max(0.05);
+        let b2 = self.beta * (1.0 + sw * xw2).max(0.05);
+        let vt1 = self.vth + svt * xv1;
+        let vt2 = self.vth + svt * xv2;
+        // Diode device: Vov1 = sqrt(2 I / β1).
+        let vov1 = (2.0 * i_in / b1).sqrt();
+        // Output overdrive: Vgs - Vt2 = Vt1 + Vov1 - Vt2.
+        let vov2 = (vt1 + vov1 - vt2).max(0.0);
+        let i_out = 0.5 * b2 * vov2 * vov2;
+
+        // Partials.
+        let db1 = if 1.0 + sw * xw1 > 0.05 { self.beta * sw } else { 0.0 };
+        let db2 = if 1.0 + sw * xw2 > 0.05 { self.beta * sw } else { 0.0 };
+        let dvov1_diin = if i_in > 0.0 { 1.0 / (b1 * vov1) } else { 0.0 };
+        let dvov1_db1 = -0.5 * vov1 / b1;
+        let active = vov2 > 0.0;
+        let chain = if active { b2 * vov2 } else { 0.0 };
+
+        let d_iin = chain * dvov1_diin;
+        let d_xw1 = chain * dvov1_db1 * db1;
+        let d_xv1 = chain * svt;
+        let d_xw2 = 0.5 * vov2 * vov2 * db2;
+        let d_xv2 = -chain * svt;
+        (i_out, [d_iin, d_xw1, d_xv1, d_xw2, d_xv2])
+    }
+}
+
+/// The charge-pump current-mismatch bench.
+///
+/// # Example
+///
+/// ```
+/// use nofis_circuit::ChargePumpBench;
+///
+/// let bench = ChargePumpBench::new();
+/// let (mismatch, grad) = bench.mismatch_grad(&[0.0; 16]);
+/// assert!(mismatch.abs() < 1e-9); // perfectly matched at nominal
+/// assert_eq!(grad.len(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargePumpBench {
+    /// Reference current fed to both paths (A).
+    pub i_ref: f64,
+    /// Mirror stage model (identical nominal stages).
+    up1: Mirror,
+    up2: Mirror,
+    dn1: Mirror,
+    dn2: Mirror,
+    /// Relative width sigma per unit `x`.
+    pub sigma_w: f64,
+    /// Absolute threshold sigma per unit `x` (V).
+    pub sigma_vt: f64,
+}
+
+impl Default for ChargePumpBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChargePumpBench {
+    /// Number of variation dimensions (8 transistors × {width, Vth}).
+    pub const DIM: usize = 16;
+
+    /// Creates the bench with nominal 100 µA reference and mirror devices
+    /// sized for ≈ 0.32 V overdrive.
+    pub fn new() -> Self {
+        let pmos = Mirror {
+            beta: 2e-3,
+            vth: 0.45,
+        };
+        let nmos = Mirror {
+            beta: 2.5e-3,
+            vth: 0.4,
+        };
+        ChargePumpBench {
+            i_ref: 100e-6,
+            up1: pmos,
+            up2: pmos,
+            dn1: nmos,
+            dn2: nmos,
+            sigma_w: 0.0755,
+            sigma_vt: 0.0316,
+        }
+    }
+
+    /// Signed mismatch `I_up − I_down` (A) and its gradient with respect to
+    /// the 16 variation coordinates.
+    ///
+    /// Coordinate layout: `x[0..8]` drive the UP path (two mirrors × two
+    /// devices × {width, Vth}), `x[8..16]` the DOWN path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 16`.
+    pub fn mismatch_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(x.len(), Self::DIM, "charge pump expects 16 variation dims");
+        let (sw, svt) = (self.sigma_w, self.sigma_vt);
+        let mut grad = vec![0.0; Self::DIM];
+
+        // UP path: mirror1 (x0..x3) feeding mirror2 (x4..x7).
+        let (i_m1, d1) = self.up1.evaluate(self.i_ref, sw, svt, x[0], x[1], x[2], x[3]);
+        let (i_up, d2) = self.up2.evaluate(i_m1, sw, svt, x[4], x[5], x[6], x[7]);
+        // d i_up / d x0..3 = d2.d_iin * d1.d_x*
+        for (k, g) in d1[1..].iter().enumerate() {
+            grad[k] += d2[0] * g;
+        }
+        for (k, g) in d2[1..].iter().enumerate() {
+            grad[4 + k] += g;
+        }
+
+        // DOWN path: mirror1 (x8..x11) feeding mirror2 (x12..x15).
+        let (i_m1d, e1) = self.dn1.evaluate(self.i_ref, sw, svt, x[8], x[9], x[10], x[11]);
+        let (i_dn, e2) = self.dn2.evaluate(i_m1d, sw, svt, x[12], x[13], x[14], x[15]);
+        for (k, g) in e1[1..].iter().enumerate() {
+            grad[8 + k] -= e2[0] * g;
+        }
+        for (k, g) in e2[1..].iter().enumerate() {
+            grad[12 + k] -= g;
+        }
+
+        (i_up - i_dn, grad)
+    }
+
+    /// Absolute mismatch `|I_up − I_down|` (A) with gradient (subgradient
+    /// at exactly zero mismatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 16`.
+    pub fn abs_mismatch_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let (delta, mut grad) = self.mismatch_grad(x);
+        let s = if delta >= 0.0 { 1.0 } else { -1.0 };
+        for g in &mut grad {
+            *g *= s;
+        }
+        (delta.abs(), grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_paths_match() {
+        let bench = ChargePumpBench::new();
+        let (delta, _) = bench.mismatch_grad(&[0.0; 16]);
+        assert!(delta.abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_up_device_raises_up_current() {
+        let bench = ChargePumpBench::new();
+        let mut x = [0.0; 16];
+        x[6] = 1.0; // UP mirror-2 output device width
+        let (delta, _) = bench.mismatch_grad(&x);
+        assert!(delta > 0.0);
+        x[6] = 0.0;
+        x[14] = 1.0; // DOWN mirror-2 output device width
+        let (delta, _) = bench.mismatch_grad(&x);
+        assert!(delta < 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let bench = ChargePumpBench::new();
+        let mut x = [0.0; 16];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = 0.3 * ((i as f64 * 0.77).sin()); // deterministic non-trivial point
+        }
+        let (_, grad) = bench.mismatch_grad(&x);
+        let eps = 1e-7;
+        for i in 0..16 {
+            let mut xp = x;
+            xp[i] += eps;
+            let (fp, _) = bench.mismatch_grad(&xp);
+            xp[i] -= 2.0 * eps;
+            let (fm, _) = bench.mismatch_grad(&xp);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6 * fd.abs().max(1e-6),
+                "dim {i}: analytic {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn abs_mismatch_flips_gradient_sign() {
+        let bench = ChargePumpBench::new();
+        let mut x = [0.0; 16];
+        x[14] = 1.0; // down path stronger: delta < 0
+        let (signed, sg) = bench.mismatch_grad(&x);
+        let (abs_v, ag) = bench.abs_mismatch_grad(&x);
+        assert!(signed < 0.0);
+        assert_eq!(abs_v, -signed);
+        assert_eq!(ag[14], -sg[14]);
+    }
+
+    #[test]
+    fn mismatch_scale_is_in_the_tens_of_microamps() {
+        // One-sigma perturbations should move tens of µA so that the
+        // 370 µA spec sits a few sigma out.
+        let bench = ChargePumpBench::new();
+        let mut acc = 0.0;
+        for i in 0..16 {
+            let mut x = [0.0; 16];
+            x[i] = 1.0;
+            let (delta, _) = bench.mismatch_grad(&x);
+            acc += delta * delta;
+        }
+        let sigma = acc.sqrt();
+        assert!(sigma > 20e-6 && sigma < 200e-6, "sigma = {sigma:.3e}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Exponential junction diode with Newton companion model.
+
+use crate::{Circuit, Element, ElementId, Node};
+
+/// Shockley diode parameters.
+///
+/// `i = I_s (e^{v/(n·V_T)} − 1)`, linearized per Newton iteration with a
+/// voltage clamp to keep the exponential from overflowing before the
+/// iteration converges.
+///
+/// # Example
+///
+/// ```
+/// use nofis_circuit::DiodeParams;
+///
+/// let d = DiodeParams::default();
+/// let (i, g) = d.evaluate(0.65);
+/// assert!(i > 1e-6 && i < 1.0);
+/// assert!(g > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeParams {
+    /// Saturation current (A).
+    pub i_s: f64,
+    /// Ideality factor.
+    pub n: f64,
+    /// Thermal voltage (V); 25.85 mV at 300 K.
+    pub v_t: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams {
+            i_s: 1e-14,
+            n: 1.0,
+            v_t: 0.02585,
+        }
+    }
+}
+
+impl DiodeParams {
+    /// Junction voltage above which the exponential is linearized to keep
+    /// Newton iterations finite (`n·V_T·ln(1e15)`, ≈ 0.89 V at defaults).
+    fn v_crit(&self) -> f64 {
+        self.n * self.v_t * (1e15_f64).ln()
+    }
+
+    /// Diode current and small-signal conductance at junction voltage `v`.
+    pub fn evaluate(&self, v: f64) -> (f64, f64) {
+        let nvt = self.n * self.v_t;
+        let v_crit = self.v_crit();
+        if v <= v_crit {
+            let e = (v / nvt).exp();
+            (self.i_s * (e - 1.0), self.i_s * e / nvt)
+        } else {
+            // Linear continuation beyond v_crit.
+            let e = (v_crit / nvt).exp();
+            let i0 = self.i_s * (e - 1.0);
+            let g0 = self.i_s * e / nvt;
+            (i0 + g0 * (v - v_crit), g0)
+        }
+    }
+}
+
+impl Circuit {
+    /// Adds a junction diode conducting from `anode` to `cathode`.
+    ///
+    /// Internally modeled as a nonlinear element handled by the DC Newton
+    /// loop (like MOSFETs): each iteration stamps the companion
+    /// conductance `g_d` and current source `i_d − g_d·v_d`.
+    pub fn diode(&mut self, anode: Node, cathode: Node, params: DiodeParams) -> ElementId {
+        self.push_element(Element::Diode {
+            anode,
+            cathode,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitError;
+
+    #[test]
+    fn forward_drop_is_realistic() {
+        // 1 mA through a silicon diode drops ≈ 0.6–0.75 V.
+        let mut ckt = Circuit::new();
+        let a = ckt.node();
+        ckt.current_source(Node::GROUND, a, 1e-3);
+        ckt.diode(a, Node::GROUND, DiodeParams::default());
+        let dc = ckt.dc_solve().unwrap();
+        let v = dc.voltage(a);
+        assert!(v > 0.55 && v < 0.8, "forward drop {v}");
+    }
+
+    #[test]
+    fn reverse_diode_blocks() {
+        // Reverse-biased diode in series with a resistor: node follows the
+        // resistor divider with only the tiny saturation current flowing.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node();
+        let mid = ckt.node();
+        ckt.voltage_source(vin, Node::GROUND, 5.0);
+        ckt.resistor(vin, mid, 1_000.0);
+        ckt.diode(Node::GROUND, mid, DiodeParams::default()); // reverse
+        let dc = ckt.dc_solve().unwrap();
+        assert!((dc.voltage(mid) - 5.0).abs() < 1e-3, "v = {}", dc.voltage(mid));
+    }
+
+    #[test]
+    fn rectifier_clamps_with_load() {
+        // Diode + load resistor from a 5 V source through 1 kΩ: the diode
+        // conducts and clamps near its forward drop.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node();
+        let mid = ckt.node();
+        ckt.voltage_source(vin, Node::GROUND, 5.0);
+        ckt.resistor(vin, mid, 1_000.0);
+        ckt.diode(mid, Node::GROUND, DiodeParams::default());
+        let dc = ckt.dc_solve().unwrap();
+        let v = dc.voltage(mid);
+        assert!(v > 0.5 && v < 0.9, "clamped voltage {v}");
+        // KCL: resistor current equals diode current.
+        let (i_d, _) = DiodeParams::default().evaluate(v);
+        let i_r = (5.0 - v) / 1_000.0;
+        assert!((i_d - i_r).abs() < 1e-6, "KCL: {i_d} vs {i_r}");
+    }
+
+    #[test]
+    fn evaluate_is_monotone_and_continuous() {
+        let d = DiodeParams::default();
+        let mut last = f64::NEG_INFINITY;
+        for k in 0..200 {
+            let v = -0.5 + k as f64 * 0.01;
+            let (i, g) = d.evaluate(v);
+            assert!(i >= last - 1e-18, "current not monotone at v={v}");
+            assert!(g >= 0.0);
+            last = i;
+        }
+        // Continuity across the clamp.
+        let vc = 0.02585 * (1e15_f64).ln();
+        let (i1, _) = d.evaluate(vc - 1e-6);
+        let (i2, _) = d.evaluate(vc + 1e-6);
+        assert!((i1 - i2).abs() < 1e-3 * i1.abs().max(1e-12));
+    }
+
+    #[test]
+    fn floating_diode_errors_cleanly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node();
+        let _b = ckt.node();
+        ckt.diode(a, Node::GROUND, DiodeParams::default());
+        // Node `a` has no DC path except the diode; the reverse-biased
+        // solution is fine, but floating node `_b` must be detected.
+        assert!(matches!(
+            ckt.dc_solve(),
+            Err(CircuitError::SingularSystem { .. })
+        ));
+    }
+}

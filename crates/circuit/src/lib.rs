@@ -1,0 +1,42 @@
+//! Modified-nodal-analysis (MNA) circuit simulator with adjoint
+//! sensitivities.
+//!
+//! Built from scratch as the substrate for NOFIS's circuit test cases —
+//! the paper's SPICE testbenches are proprietary, so the repository ships
+//! its own simulator:
+//!
+//! * [`Circuit`] — netlist builder (R, C, I/V sources, VCCS, square-law
+//!   MOSFET).
+//! * [`Circuit::dc_solve`] — DC operating point with damped
+//!   Newton–Raphson for nonlinear devices (square-law MOSFETs and
+//!   exponential junction diodes).
+//! * [`Circuit::transient`] — backward-Euler time-domain analysis with
+//!   capacitor companion models.
+//! * [`Circuit::ac_solve`] / [`Circuit::ac_sensitivity`] — complex
+//!   small-signal analysis and adjoint gradients (one extra solve yields
+//!   every element sensitivity), which makes the differentiable NOFIS loss
+//!   affordable on circuit cases.
+//! * [`OpampBench`] / [`ChargePumpBench`] — the two yield benches used by
+//!   Table 1 (#6 and #8).
+//!
+//! See the type-level examples for usage.
+
+#![deny(missing_docs)]
+
+mod ac;
+mod chargepump;
+mod dc;
+mod diode;
+mod mosfet;
+mod netlist;
+mod opamp;
+mod transient;
+
+pub use ac::{AcSensitivity, AcSolution};
+pub use diode::DiodeParams;
+pub use chargepump::ChargePumpBench;
+pub use dc::DcSolution;
+pub use mosfet::{MosOperatingPoint, MosParams, MosType, Region};
+pub use netlist::{Circuit, CircuitError, Element, ElementId, Node};
+pub use opamp::{OpampBench, OpampDesign};
+pub use transient::TransientSolution;

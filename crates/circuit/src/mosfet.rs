@@ -1,0 +1,202 @@
+//! Square-law MOSFET model with channel-length modulation.
+//!
+//! Level-1 (Shichman–Hodges) equations are accurate enough for the yield
+//! benchmarks here: the variation-space maps (width/threshold perturbation
+//! → drain current and small-signal parameters) are smooth and analytic,
+//! which is what the differentiable NOFIS loss needs.
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device (all voltages internally reflected).
+    Pmos,
+}
+
+/// Operating region of a square-law MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// `V_gs <= V_th`: no channel.
+    Cutoff,
+    /// `V_ds < V_gs - V_th`: resistive channel.
+    Triode,
+    /// `V_ds >= V_gs - V_th`: current source behaviour.
+    Saturation,
+}
+
+/// Square-law MOSFET parameters.
+///
+/// # Example
+///
+/// ```
+/// use nofis_circuit::{MosParams, MosType};
+///
+/// let m = MosParams::nmos(200e-6, 1e-6, 0.5, 50e-6, 0.05);
+/// let op = m.evaluate(1.0, 1.2);
+/// assert!(op.id > 0.0);
+/// assert!(op.gm > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Polarity.
+    pub mos_type: MosType,
+    /// Channel width in meters.
+    pub width: f64,
+    /// Channel length in meters.
+    pub length: f64,
+    /// Threshold voltage magnitude in volts.
+    pub vth: f64,
+    /// Process transconductance `k' = µ C_ox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation coefficient `λ` in 1/V.
+    pub lambda: f64,
+}
+
+/// Evaluated large- and small-signal quantities at a bias point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOperatingPoint {
+    /// Drain current (positive into the drain for NMOS).
+    pub id: f64,
+    /// Transconductance `∂I_d/∂V_gs`.
+    pub gm: f64,
+    /// Output conductance `∂I_d/∂V_ds`.
+    pub gds: f64,
+    /// Operating region.
+    pub region: Region,
+}
+
+impl MosParams {
+    /// Convenience constructor for an NMOS device.
+    pub fn nmos(width: f64, length: f64, vth: f64, kp: f64, lambda: f64) -> Self {
+        MosParams {
+            mos_type: MosType::Nmos,
+            width,
+            length,
+            vth,
+            kp,
+            lambda,
+        }
+    }
+
+    /// Convenience constructor for a PMOS device (pass `vth` as a positive
+    /// magnitude).
+    pub fn pmos(width: f64, length: f64, vth: f64, kp: f64, lambda: f64) -> Self {
+        MosParams {
+            mos_type: MosType::Pmos,
+            width,
+            length,
+            vth,
+            kp,
+            lambda,
+        }
+    }
+
+    /// The device gain factor `β = k' W / L`.
+    pub fn beta(&self) -> f64 {
+        self.kp * self.width / self.length
+    }
+
+    /// Evaluates drain current and small-signal parameters at the bias
+    /// `(v_gs, v_ds)`. For PMOS pass source-referred NMOS-style voltages
+    /// (`v_sg`, `v_sd`); polarity only matters for callers assembling
+    /// circuits.
+    pub fn evaluate(&self, v_gs: f64, v_ds: f64) -> MosOperatingPoint {
+        let vov = v_gs - self.vth;
+        let beta = self.beta();
+        if vov <= 0.0 {
+            return MosOperatingPoint {
+                id: 0.0,
+                gm: 0.0,
+                gds: 0.0,
+                region: Region::Cutoff,
+            };
+        }
+        if v_ds < vov {
+            // Triode region.
+            let id = beta * (vov * v_ds - 0.5 * v_ds * v_ds) * (1.0 + self.lambda * v_ds);
+            let gm = beta * v_ds * (1.0 + self.lambda * v_ds);
+            let gds = beta * (vov - v_ds) * (1.0 + self.lambda * v_ds)
+                + beta * (vov * v_ds - 0.5 * v_ds * v_ds) * self.lambda;
+            MosOperatingPoint {
+                id,
+                gm,
+                gds,
+                region: Region::Triode,
+            }
+        } else {
+            // Saturation region.
+            let id0 = 0.5 * beta * vov * vov;
+            let id = id0 * (1.0 + self.lambda * v_ds);
+            let gm = beta * vov * (1.0 + self.lambda * v_ds);
+            let gds = id0 * self.lambda;
+            MosOperatingPoint {
+                id,
+                gm,
+                gds,
+                region: Region::Saturation,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> MosParams {
+        MosParams::nmos(100e-6, 1e-6, 0.5, 50e-6, 0.04)
+    }
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let op = device().evaluate(0.3, 1.0);
+        assert_eq!(op.region, Region::Cutoff);
+        assert_eq!(op.id, 0.0);
+        assert_eq!(op.gm, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_is_square_law() {
+        let m = device();
+        let op = m.evaluate(1.0, 2.0);
+        assert_eq!(op.region, Region::Saturation);
+        let expected = 0.5 * m.beta() * 0.25 * (1.0 + 0.04 * 2.0);
+        assert!((op.id - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn region_boundary_is_continuous() {
+        let m = device();
+        let vov = 0.5;
+        let below = m.evaluate(1.0, vov - 1e-9);
+        let above = m.evaluate(1.0, vov + 1e-9);
+        assert!((below.id - above.id).abs() < 1e-9 * m.beta());
+    }
+
+    #[test]
+    fn gm_gds_match_finite_differences() {
+        let m = device();
+        let (vgs, vds) = (1.1, 0.3); // triode
+        let eps = 1e-7;
+        let op = m.evaluate(vgs, vds);
+        let gm_fd = (m.evaluate(vgs + eps, vds).id - m.evaluate(vgs - eps, vds).id) / (2.0 * eps);
+        let gds_fd = (m.evaluate(vgs, vds + eps).id - m.evaluate(vgs, vds - eps).id) / (2.0 * eps);
+        assert!((op.gm - gm_fd).abs() / gm_fd.abs() < 1e-6);
+        assert!((op.gds - gds_fd).abs() / gds_fd.abs() < 1e-6);
+
+        let (vgs, vds) = (1.1, 1.5); // saturation
+        let op = m.evaluate(vgs, vds);
+        let gm_fd = (m.evaluate(vgs + eps, vds).id - m.evaluate(vgs - eps, vds).id) / (2.0 * eps);
+        let gds_fd = (m.evaluate(vgs, vds + eps).id - m.evaluate(vgs, vds - eps).id) / (2.0 * eps);
+        assert!((op.gm - gm_fd).abs() / gm_fd.abs() < 1e-6);
+        assert!((op.gds - gds_fd).abs() / gds_fd.abs() < 1e-5);
+    }
+
+    #[test]
+    fn wider_device_conducts_more() {
+        let narrow = MosParams::nmos(50e-6, 1e-6, 0.5, 50e-6, 0.04);
+        let wide = MosParams::nmos(150e-6, 1e-6, 0.5, 50e-6, 0.04);
+        assert!(wide.evaluate(1.0, 1.0).id > narrow.evaluate(1.0, 1.0).id);
+    }
+}

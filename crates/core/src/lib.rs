@@ -1,0 +1,32 @@
+//! NOFIS: normalizing-flow assisted importance sampling for rare circuit
+//! failure analysis.
+//!
+//! This crate implements the primary contribution of *"NOFIS: Normalizing
+//! Flow for Rare Circuit Failure Analysis"* (Gao, Zhang, Daniel, Boning —
+//! DAC 2024): Algorithm 1, which
+//!
+//! 1. defines nested subset events `Ω_{a_1} ⊇ … ⊇ Ω_{a_M} = Ω` via a
+//!    strictly decreasing threshold schedule ([`Levels`]),
+//! 2. trains one block of `K` RealNVP coupling layers per stage by
+//!    minimizing the KL divergence to the tempered target
+//!    `p_m^τ(x) ∝ exp(min(τ(a_m − g(x)), 0)) p(x)` while freezing earlier
+//!    blocks ([`Nofis::train`]), and
+//! 3. estimates `P[Ω]` by importance sampling with the learned final
+//!    proposal `q_{MK}` ([`TrainedNofis::estimate`]).
+//!
+//! All ablation knobs from the paper's §3.2 are exposed on
+//! [`NofisConfig`]: `NoFreeze` (`freeze = false`), `LongThre` (a longer
+//! [`Levels::Fixed`] schedule), `SmallTemp` (`tau = 1.0`), and the
+//! temperature sweep.
+//!
+//! See the crate-level example on [`Nofis`] for end-to-end usage.
+
+#![deny(missing_docs)]
+
+mod config;
+mod proposal;
+mod train;
+
+pub use config::{ConfigError, Levels, NofisConfig};
+pub use proposal::FlowProposal;
+pub use train::{Nofis, TrainedNofis};

@@ -1,0 +1,470 @@
+use crate::{ConfigError, FlowProposal, Levels, NofisConfig};
+use nofis_autograd::{Graph, ParamStore, Tensor};
+use nofis_flows::RealNvp;
+use nofis_nn::Adam;
+use nofis_prob::{
+    importance_sampling, importance_sampling_detailed, quantile, IsResult, LimitState,
+    StandardGaussian, WeightDiagnostics, LN_2PI,
+};
+use rand::Rng;
+
+/// The NOFIS estimator (Algorithm 1 of the paper).
+///
+/// `Nofis` owns a validated [`NofisConfig`]; [`Nofis::train`] learns the
+/// sequence of proposal distributions and [`TrainedNofis::estimate`]
+/// produces the final importance-sampling estimate. The convenience method
+/// [`Nofis::run`] does both.
+///
+/// # Example
+///
+/// ```
+/// use nofis_core::{Levels, Nofis, NofisConfig};
+/// use nofis_prob::{CountingOracle, LimitState};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), nofis_core::ConfigError> {
+/// // A moderately rare half-space event: P[x0 >= 3] ≈ 1.35e-3.
+/// struct HalfSpace;
+/// impl LimitState for HalfSpace {
+///     fn dim(&self) -> usize { 2 }
+///     fn value(&self, x: &[f64]) -> f64 { 3.0 - x[0] }
+///     fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+///         (3.0 - x[0], vec![-1.0, 0.0])
+///     }
+/// }
+///
+/// let config = NofisConfig {
+///     levels: Levels::Fixed(vec![2.0, 1.0, 0.0]),
+///     layers_per_stage: 4,
+///     hidden: 16,
+///     epochs: 8,
+///     batch_size: 64,
+///     n_is: 500,
+///     ..Default::default()
+/// };
+/// let oracle = CountingOracle::new(&HalfSpace);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (trained, result) = Nofis::new(config)?.run(&oracle, &mut rng);
+/// assert_eq!(trained.levels().last(), Some(&0.0));
+/// assert!(result.estimate > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nofis {
+    config: NofisConfig,
+}
+
+impl Nofis {
+    /// Creates an estimator from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: NofisConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Nofis { config })
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &NofisConfig {
+        &self.config
+    }
+
+    /// Runs the `M`-stage training of Algorithm 1, consuming `M·E·N`
+    /// simulator calls (plus pilot calls under adaptive levels).
+    ///
+    /// Wrap `limit_state` in a
+    /// [`CountingOracle`](nofis_prob::CountingOracle) to meter the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit_state.dim() < 2` (RealNVP coupling layers need at
+    /// least two coordinates).
+    pub fn train(
+        &self,
+        limit_state: &(impl LimitState + ?Sized),
+        rng: &mut impl Rng,
+    ) -> TrainedNofis {
+        let dim = limit_state.dim();
+        assert!(dim >= 2, "NOFIS requires dim >= 2, got {dim}");
+        let cfg = &self.config;
+        let k = cfg.layers_per_stage;
+        let max_stages = cfg.levels.max_stages();
+
+        let mut store = ParamStore::new();
+        let flow = RealNvp::new(&mut store, dim, max_stages * k, cfg.hidden, cfg.s_max, rng);
+        let base = StandardGaussian::new(dim);
+
+        let mut levels: Vec<f64> = Vec::new();
+        let mut loss_history: Vec<Vec<f64>> = Vec::new();
+
+        for stage in 0..max_stages {
+            // --- Pick this stage's threshold. ---
+            let level = match &cfg.levels {
+                Levels::Fixed(v) => v[stage],
+                Levels::AdaptiveQuantile { p0, pilot, .. } => {
+                    if stage + 1 == max_stages {
+                        0.0
+                    } else {
+                        let depth = stage * k;
+                        let mut gvals = Vec::with_capacity(*pilot);
+                        for _ in 0..*pilot {
+                            let x = if depth == 0 {
+                                base.sample(rng)
+                            } else {
+                                flow.sample(&store, depth, rng).0
+                            };
+                            gvals.push(limit_state.value(&x));
+                        }
+                        let mut q = quantile(&gvals, *p0);
+                        // Overshoot guard: tempered training gives the stage
+                        // proposal a heavy lower-g tail, which can crash the
+                        // pilot quantile to 0 long before the proposal truly
+                        // covers the failure region. Only allow the schedule
+                        // to land on 0 when the pilot actually observes a
+                        // healthy failure fraction; otherwise descend
+                        // geometrically at most.
+                        let frac_fail = gvals.iter().filter(|&&g| g <= 0.0).count()
+                            as f64
+                            / gvals.len() as f64;
+                        if let Some(&prev) = levels.last() {
+                            if frac_fail < 0.5 * p0 {
+                                q = q.max(0.35 * prev);
+                            }
+                            // Enforce strict decrease: an undertrained stage
+                            // can leave the pilot quantile at (or above) the
+                            // previous threshold, stalling the schedule.
+                            q = q.min(prev - 0.05 * prev.abs());
+                        }
+                        if q <= 0.0 {
+                            0.0
+                        } else {
+                            q
+                        }
+                    }
+                }
+            };
+            levels.push(level);
+
+            // --- Freeze everything before this stage's block. ---
+            if cfg.freeze {
+                for id in flow.param_ids_for_layers(0..stage * k) {
+                    store.set_frozen(id, true);
+                }
+            }
+
+            // --- Optimize D[q_{mK} || p_m^tau] (Eq. 8). ---
+            let depth = (stage + 1) * k;
+            let mut opt = Adam::new(cfg.learning_rate);
+            let mut stage_losses = Vec::with_capacity(cfg.epochs);
+            let mb = cfg.minibatch.min(cfg.batch_size);
+            for _ in 0..cfg.epochs {
+                // One epoch consumes `batch_size` fresh simulator calls; the
+                // optimizer takes one step per `minibatch`-sized chunk.
+                let mut epoch_loss = 0.0;
+                let mut consumed = 0;
+                while consumed < cfg.batch_size {
+                    let n = mb.min(cfg.batch_size - consumed);
+                    consumed += n;
+                    let z0 = Tensor::from_vec(n, dim, base.sample_flat(n, rng));
+                    let mut g = Graph::new();
+                    let x = g.constant(z0);
+                    let (z, logdet) = flow.forward_graph(&store, &mut g, x, depth);
+                    // tempered term: min(tau * (a_m - g(z)), 0)
+                    let gvals = g.external_rowwise(z, |row| limit_state.value_grad(row));
+                    let neg_tau_g = g.scale(gvals, -cfg.tau);
+                    let shifted = g.add_scalar(neg_tau_g, cfg.tau * level);
+                    let tempered = g.min_scalar(shifted, 0.0);
+                    // base log-density of z: -D/2 ln 2π - ||z||²/2
+                    let sq = g.square(z);
+                    let ssq = g.sum_cols(sq);
+                    let half = g.scale(ssq, -0.5);
+                    let logp = g.add_scalar(half, -0.5 * dim as f64 * LN_2PI);
+
+                    let a = g.add(logdet, tempered);
+                    let per_sample = g.add(a, logp);
+                    let mean = g.mean_all(per_sample);
+                    let loss = g.neg(mean);
+                    g.backward(loss);
+                    opt.step(&mut store, &g.param_grads());
+                    epoch_loss += g.value(loss).item() * n as f64;
+                }
+                stage_losses.push(epoch_loss / cfg.batch_size as f64);
+            }
+            loss_history.push(stage_losses);
+
+            if level == 0.0 {
+                // The adaptive schedule reached the target event: stop and
+                // save the remaining budget (further stages at level 0 were
+                // observed to over-concentrate the proposal).
+                break;
+            }
+        }
+
+        // Defensive: the fixed schedule always ends at 0.0 by validation;
+        // the adaptive one breaks on 0.0 or forces it at the last stage.
+        debug_assert_eq!(levels.last().copied(), Some(0.0));
+
+        TrainedNofis {
+            flow,
+            store,
+            levels,
+            loss_history,
+            layers_per_stage: k,
+        }
+    }
+
+    /// Trains and immediately produces the final IS estimate with
+    /// `config.n_is` samples; returns both the trained model and the
+    /// estimate.
+    pub fn run(
+        &self,
+        limit_state: &(impl LimitState + ?Sized),
+        rng: &mut impl Rng,
+    ) -> (TrainedNofis, IsResult) {
+        let trained = self.train(limit_state, rng);
+        let result = trained.estimate(limit_state, self.config.n_is, rng);
+        (trained, result)
+    }
+}
+
+/// A trained NOFIS model: the flow, its parameters, the realized threshold
+/// schedule and the per-stage training losses.
+#[derive(Debug, Clone)]
+pub struct TrainedNofis {
+    flow: RealNvp,
+    store: ParamStore,
+    levels: Vec<f64>,
+    loss_history: Vec<Vec<f64>>,
+    layers_per_stage: usize,
+}
+
+impl TrainedNofis {
+    /// The realized thresholds `a_1 > … > a_M = 0` (for adaptive schedules
+    /// these are the pilot-quantile choices actually used).
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Per-stage, per-epoch training losses (Figure 3e of the paper).
+    pub fn loss_history(&self) -> &[Vec<f64>] {
+        &self.loss_history
+    }
+
+    /// Number of trained stages `M`.
+    pub fn stages(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Coupling layers per stage (`K`).
+    pub fn layers_per_stage(&self) -> usize {
+        self.layers_per_stage
+    }
+
+    /// Total flow depth actually trained (`M·K`).
+    pub fn depth(&self) -> usize {
+        self.stages() * self.layers_per_stage
+    }
+
+    /// The final proposal distribution `q_{MK}`.
+    pub fn proposal(&self) -> FlowProposal<'_> {
+        FlowProposal::new(&self.flow, &self.store, self.depth())
+    }
+
+    /// The intermediate stage proposal `q_{mK}` for `stage` in `1..=M`
+    /// (Figure 3a–d of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is zero or exceeds the trained stage count.
+    pub fn stage_proposal(&self, stage: usize) -> FlowProposal<'_> {
+        assert!(
+            stage >= 1 && stage <= self.stages(),
+            "stage {stage} out of range 1..={}",
+            self.stages()
+        );
+        FlowProposal::new(&self.flow, &self.store, stage * self.layers_per_stage)
+    }
+
+    /// Final importance-sampling estimate of `P[g(x) ≤ 0]` using `n_is`
+    /// proposal samples (Eq. 2), each costing one simulator call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_is == 0`.
+    pub fn estimate(
+        &self,
+        limit_state: &(impl LimitState + ?Sized),
+        n_is: usize,
+        rng: &mut impl Rng,
+    ) -> IsResult {
+        let p = StandardGaussian::new(self.flow.dim());
+        importance_sampling(limit_state, 0.0, &self.proposal(), &p, n_is, rng)
+    }
+
+    /// Like [`TrainedNofis::estimate`] but also returns
+    /// [`WeightDiagnostics`] over the realized importance weights, so
+    /// callers can detect weight degeneracy (a heavy-tailed proposal
+    /// mismatch) instead of trusting a silently bad estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_is == 0`.
+    pub fn estimate_with_diagnostics(
+        &self,
+        limit_state: &(impl LimitState + ?Sized),
+        n_is: usize,
+        rng: &mut impl Rng,
+    ) -> (IsResult, Option<WeightDiagnostics>) {
+        let p = StandardGaussian::new(self.flow.dim());
+        let (result, log_weights) =
+            importance_sampling_detailed(limit_state, 0.0, &self.proposal(), &p, n_is, rng);
+        let diag = if log_weights.is_empty() {
+            None
+        } else {
+            Some(WeightDiagnostics::from_log_weights(&log_weights))
+        };
+        (result, diag)
+    }
+
+    /// Exact log-density of the final proposal at `x` (used by the
+    /// visualization harnesses).
+    pub fn log_density(&self, x: &[f64]) -> f64 {
+        self.flow.log_density(&self.store, x, self.depth())
+    }
+
+    /// Borrows the underlying flow and parameters (read-only diagnostics).
+    pub fn flow(&self) -> (&RealNvp, &ParamStore) {
+        (&self.flow, &self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nofis_prob::{log_error, normal_cdf, CountingOracle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// g(x) = beta - x0 in 2-D: P[fail] = 1 - Φ(beta), analytic gradient.
+    struct HalfSpace {
+        beta: f64,
+    }
+    impl LimitState for HalfSpace {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            self.beta - x[0]
+        }
+        fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+            (self.beta - x[0], vec![-1.0, 0.0])
+        }
+        fn name(&self) -> &str {
+            "halfspace"
+        }
+    }
+
+    fn small_config(levels: Levels) -> NofisConfig {
+        NofisConfig {
+            levels,
+            layers_per_stage: 4,
+            hidden: 16,
+            epochs: 12,
+            batch_size: 100,
+            n_is: 1000,
+            tau: 15.0,
+            learning_rate: 8e-3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn estimates_halfspace_tail_with_fixed_levels() {
+        let ls = HalfSpace { beta: 3.5 }; // P ≈ 2.33e-4
+        let oracle = CountingOracle::new(&ls);
+        let cfg = small_config(Levels::Fixed(vec![2.0, 1.0, 0.0]));
+        let budget = cfg.training_budget() + cfg.n_is as u64;
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (trained, result) = nofis.run(&oracle, &mut rng);
+
+        let golden = 1.0 - normal_cdf(3.5);
+        let err = log_error(result.estimate, golden);
+        assert!(
+            err < 0.7,
+            "estimate {} vs golden {golden}: log error {err}",
+            result.estimate
+        );
+        assert_eq!(oracle.calls(), budget);
+        assert_eq!(trained.levels(), &[2.0, 1.0, 0.0]);
+        assert_eq!(trained.stages(), 3);
+        assert_eq!(trained.depth(), 12);
+    }
+
+    #[test]
+    fn adaptive_levels_reach_zero() {
+        let ls = HalfSpace { beta: 3.0 };
+        let oracle = CountingOracle::new(&ls);
+        let cfg = small_config(Levels::AdaptiveQuantile {
+            max_stages: 4,
+            p0: 0.15,
+            pilot: 100,
+        });
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trained = nofis.train(&oracle, &mut rng);
+        let levels = trained.levels();
+        assert_eq!(*levels.last().unwrap(), 0.0);
+        // Levels decrease strictly until 0.0, then may repeat 0.0
+        // (refinement stages).
+        let nonzero: Vec<f64> = levels.iter().copied().take_while(|&l| l > 0.0).collect();
+        assert!(nonzero.windows(2).all(|w| w[1] < w[0]), "levels {levels:?}");
+    }
+
+    #[test]
+    fn training_reduces_first_stage_loss() {
+        let ls = HalfSpace { beta: 3.0 };
+        let cfg = small_config(Levels::Fixed(vec![1.5, 0.0]));
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trained = nofis.train(&ls, &mut rng);
+        let losses = &trained.loss_history()[0];
+        let head = losses[..3].iter().sum::<f64>() / 3.0;
+        let tail = losses[losses.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(tail < head, "losses did not decrease: {losses:?}");
+    }
+
+    #[test]
+    fn stage_proposals_are_exposed() {
+        let ls = HalfSpace { beta: 3.0 };
+        let cfg = small_config(Levels::Fixed(vec![1.0, 0.0]));
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trained = nofis.train(&ls, &mut rng);
+        assert_eq!(trained.stage_proposal(1).depth(), 4);
+        assert_eq!(trained.stage_proposal(2).depth(), 8);
+        assert_eq!(trained.proposal().depth(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_proposal_bounds_checked() {
+        let ls = HalfSpace { beta: 3.0 };
+        let cfg = small_config(Levels::Fixed(vec![0.0]));
+        let trained = Nofis::new(cfg)
+            .unwrap()
+            .train(&ls, &mut StdRng::seed_from_u64(0));
+        let _ = trained.stage_proposal(2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = NofisConfig {
+            levels: Levels::Fixed(vec![1.0]), // does not end at 0
+            ..Default::default()
+        };
+        assert!(Nofis::new(cfg).is_err());
+    }
+}

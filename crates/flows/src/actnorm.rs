@@ -1,0 +1,235 @@
+//! Activation normalization (ActNorm) layers (Kingma & Dhariwal, Glow).
+//!
+//! A per-coordinate affine map `y = exp(s) ⊙ x + b` with trainable `s, b`
+//! and `ln|det J| = Σ s` — one scalar scale/shift per dimension. ActNorm
+//! stabilizes deep coupling stacks by letting the flow re-center and
+//! re-scale cheaply between couplings; the deliverable flow
+//! ([`RealNvp`](crate::RealNvp)) works without it, but it is exposed for
+//! downstream composition and for the ablation benches.
+
+use nofis_autograd::{Graph, ParamId, ParamStore, Tensor, Var};
+
+/// A trainable per-coordinate affine normalization layer.
+///
+/// # Example
+///
+/// ```
+/// use nofis_autograd::ParamStore;
+/// use nofis_flows::ActNorm;
+///
+/// let mut store = ParamStore::new();
+/// let layer = ActNorm::new(&mut store, 3);
+/// let (y, logdet) = layer.transform(&store, &[1.0, 2.0, 3.0]);
+/// assert_eq!(y, vec![1.0, 2.0, 3.0]); // identity at initialization
+/// assert_eq!(logdet, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActNorm {
+    log_scale: ParamId,
+    bias: ParamId,
+    dim: usize,
+}
+
+impl ActNorm {
+    /// Creates an identity-initialized ActNorm over `dim` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(store: &mut ParamStore, dim: usize) -> Self {
+        assert!(dim > 0, "ActNorm needs at least one dimension");
+        let log_scale = store.add(Tensor::zeros(1, dim));
+        let bias = store.add(Tensor::zeros(1, dim));
+        ActNorm {
+            log_scale,
+            bias,
+            dim,
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `[log_scale, bias]` parameter ids.
+    pub fn param_ids(&self) -> [ParamId; 2] {
+        [self.log_scale, self.bias]
+    }
+
+    /// Data-dependent initialization: sets scale and bias so that `batch`
+    /// maps to zero mean and unit variance per coordinate (the Glow
+    /// initialization scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` has fewer than two rows or a column count other
+    /// than `self.dim()`.
+    pub fn initialize_from(&self, store: &mut ParamStore, batch: &Tensor) {
+        assert_eq!(batch.cols(), self.dim, "dimension mismatch");
+        assert!(batch.rows() >= 2, "need at least two rows to estimate variance");
+        let n = batch.rows() as f64;
+        for c in 0..self.dim {
+            let mean: f64 = (0..batch.rows()).map(|r| batch[(r, c)]).sum::<f64>() / n;
+            let var: f64 = (0..batch.rows())
+                .map(|r| (batch[(r, c)] - mean).powi(2))
+                .sum::<f64>()
+                / n;
+            let std = var.sqrt().max(1e-6);
+            store.get_mut(self.log_scale).as_mut_slice()[c] = -std.ln();
+            store.get_mut(self.bias).as_mut_slice()[c] = -mean / std;
+        }
+    }
+
+    /// Differentiable forward transform; returns `(y, logdet)` with
+    /// `logdet` of shape `[N, 1]` (identical per row).
+    pub fn forward_graph(&self, store: &ParamStore, g: &mut Graph, x: Var) -> (Var, Var) {
+        let (n, d) = g.value(x).shape();
+        assert_eq!(d, self.dim, "dimension mismatch in ActNorm forward");
+        let s = store.inject(g, self.log_scale);
+        let b = store.inject(g, self.bias);
+        let es = g.exp(s);
+        let scaled = g.mul_row(x, es);
+        let y = g.add_row(scaled, b);
+        // Per-sample logdet = sum of log-scales (same every row): build it
+        // differentiably by summing s and broadcasting via matmul with a
+        // column of ones.
+        let s_sum = g.sum_cols(s); // [1,1]
+        let ones = g.constant(Tensor::filled(n, 1, 1.0));
+        let logdet = g.matmul(ones, s_sum); // [N,1]
+        (y, logdet)
+    }
+
+    /// Plain forward transform of one point; returns `(y, ln|det J|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn transform(&self, store: &ParamStore, x: &[f64]) -> (Vec<f64>, f64) {
+        assert_eq!(x.len(), self.dim, "dimension mismatch in ActNorm");
+        let s = store.get(self.log_scale).as_slice();
+        let b = store.get(self.bias).as_slice();
+        let y = x
+            .iter()
+            .zip(s)
+            .zip(b)
+            .map(|((&v, &si), &bi)| v * si.exp() + bi)
+            .collect();
+        (y, s.iter().sum())
+    }
+
+    /// Inverse transform of one point; returns `(x, ln|det J⁻¹|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.dim()`.
+    pub fn inverse(&self, store: &ParamStore, y: &[f64]) -> (Vec<f64>, f64) {
+        assert_eq!(y.len(), self.dim, "dimension mismatch in ActNorm");
+        let s = store.get(self.log_scale).as_slice();
+        let b = store.get(self.bias).as_slice();
+        let x = y
+            .iter()
+            .zip(s)
+            .zip(b)
+            .map(|((&v, &si), &bi)| (v - bi) * (-si).exp())
+            .collect();
+        (x, -s.iter().sum::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_init() {
+        let mut store = ParamStore::new();
+        let layer = ActNorm::new(&mut store, 2);
+        let (y, ld) = layer.transform(&store, &[3.0, -4.0]);
+        assert_eq!(y, vec![3.0, -4.0]);
+        assert_eq!(ld, 0.0);
+    }
+
+    #[test]
+    fn data_dependent_init_whitens() {
+        let mut store = ParamStore::new();
+        let layer = ActNorm::new(&mut store, 2);
+        let batch = Tensor::from_fn(64, 2, |r, c| {
+            let t = r as f64 / 8.0;
+            if c == 0 {
+                5.0 + 2.0 * (t.sin())
+            } else {
+                -1.0 + 0.5 * (t.cos())
+            }
+        });
+        layer.initialize_from(&mut store, &batch);
+        // Transform the batch and measure moments.
+        let mut mean = [0.0; 2];
+        let mut var = [0.0; 2];
+        let mut ys = Vec::new();
+        for r in 0..64 {
+            let (y, _) = layer.transform(&store, batch.row(r));
+            for c in 0..2 {
+                mean[c] += y[c] / 64.0;
+            }
+            ys.push(y);
+        }
+        for y in &ys {
+            for c in 0..2 {
+                var[c] += (y[c] - mean[c]).powi(2) / 64.0;
+            }
+        }
+        for c in 0..2 {
+            assert!(mean[c].abs() < 1e-10, "mean {}", mean[c]);
+            assert!((var[c] - 1.0).abs() < 1e-10, "var {}", var[c]);
+        }
+    }
+
+    #[test]
+    fn round_trip_with_nontrivial_params() {
+        let mut store = ParamStore::new();
+        let layer = ActNorm::new(&mut store, 3);
+        store.get_mut(layer.param_ids()[0]).as_mut_slice().copy_from_slice(&[0.3, -0.2, 0.5]);
+        store.get_mut(layer.param_ids()[1]).as_mut_slice().copy_from_slice(&[1.0, 2.0, -0.5]);
+        let x = [0.4, -1.2, 2.2];
+        let (y, ld) = layer.transform(&store, &x);
+        let (back, ld_inv) = layer.inverse(&store, &y);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((ld - 0.6).abs() < 1e-12);
+        assert!((ld + ld_inv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_forward_matches_plain() {
+        let mut store = ParamStore::new();
+        let layer = ActNorm::new(&mut store, 2);
+        store.get_mut(layer.param_ids()[0]).as_mut_slice().copy_from_slice(&[0.1, -0.4]);
+        store.get_mut(layer.param_ids()[1]).as_mut_slice().copy_from_slice(&[0.7, 0.2]);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, -0.5, 0.5]));
+        let (y, ld) = layer.forward_graph(&store, &mut g, x);
+        let (p0, pld) = layer.transform(&store, &[1.0, 2.0]);
+        assert!((g.value(y)[(0, 0)] - p0[0]).abs() < 1e-12);
+        assert!((g.value(y)[(0, 1)] - p0[1]).abs() < 1e-12);
+        assert!((g.value(ld)[(0, 0)] - pld).abs() < 1e-12);
+        assert!((g.value(ld)[(1, 0)] - pld).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_reach_scale_and_bias() {
+        let mut store = ParamStore::new();
+        let layer = ActNorm::new(&mut store, 2);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(3, 2, vec![0.5; 6]));
+        let (y, ld) = layer.forward_graph(&store, &mut g, x);
+        let sq = g.square(y);
+        let a = g.sum_cols(sq);
+        let b = g.add(a, ld);
+        let loss = g.mean_all(b);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Binary coupling masks.
+
+/// A binary mask partitioning the `D` coordinates of a coupling layer into
+/// a conditioning set (mask = 1, passed through unchanged) and a
+/// transformed set (mask = 0).
+///
+/// # Example
+///
+/// ```
+/// use nofis_flows::Mask;
+///
+/// let m = Mask::alternating(4, true);
+/// assert_eq!(m.as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+/// assert_eq!(m.complement().as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mask {
+    bits: Vec<f64>,
+}
+
+impl Mask {
+    /// Builds a mask from explicit 0/1 entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty, contains values other than 0 and 1, or is
+    /// constant (a constant mask would make the layer non-invertible or
+    /// trivial).
+    pub fn new(bits: Vec<f64>) -> Self {
+        assert!(!bits.is_empty(), "mask must be non-empty");
+        assert!(
+            bits.iter().all(|&b| b == 0.0 || b == 1.0),
+            "mask entries must be 0 or 1"
+        );
+        let ones = bits.iter().filter(|&&b| b == 1.0).count();
+        assert!(
+            ones > 0 && ones < bits.len(),
+            "mask must contain both conditioning (1) and transformed (0) coordinates"
+        );
+        Mask { bits }
+    }
+
+    /// An alternating checkerboard mask over `dim` coordinates; `even_on`
+    /// selects whether even indices are the conditioning set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2`.
+    pub fn alternating(dim: usize, even_on: bool) -> Self {
+        assert!(dim >= 2, "coupling masks need dim >= 2");
+        let bits = (0..dim)
+            .map(|i| if (i % 2 == 0) == even_on { 1.0 } else { 0.0 })
+            .collect();
+        Mask::new(bits)
+    }
+
+    /// A half/half split mask; `first_on` selects whether the first half is
+    /// the conditioning set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2`.
+    pub fn half(dim: usize, first_on: bool) -> Self {
+        assert!(dim >= 2, "coupling masks need dim >= 2");
+        let split = dim / 2;
+        let bits = (0..dim)
+            .map(|i| if (i < split) == first_on { 1.0 } else { 0.0 })
+            .collect();
+        Mask::new(bits)
+    }
+
+    /// Number of coordinates.
+    pub fn dim(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Borrows the 0/1 entries.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.bits
+    }
+
+    /// The complementary mask (0s and 1s swapped).
+    pub fn complement(&self) -> Mask {
+        Mask {
+            bits: self.bits.iter().map(|&b| 1.0 - b).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_flips() {
+        let a = Mask::alternating(5, true);
+        let b = Mask::alternating(5, false);
+        assert_eq!(a.as_slice(), &[1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(a.complement(), b);
+    }
+
+    #[test]
+    fn half_masks() {
+        let m = Mask::half(5, true);
+        assert_eq!(m.as_slice(), &[1.0, 1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(Mask::half(4, false).as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "both conditioning")]
+    fn rejects_constant_mask() {
+        let _ = Mask::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn rejects_non_binary() {
+        let _ = Mask::new(vec![0.5, 1.0]);
+    }
+}

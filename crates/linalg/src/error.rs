@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced by the linear algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes; the payload describes them.
+    ShapeMismatch {
+        /// Human-readable description of the two shapes and the operation.
+        context: String,
+    },
+    /// A factorization or solve encountered a (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// An argument was structurally invalid (e.g. empty matrix, ragged rows).
+    InvalidArgument {
+        /// Human-readable description of the violated requirement.
+        context: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::InvalidArgument { context } => {
+                write!(f, "invalid argument: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl LinalgError {
+    /// Convenience constructor for [`LinalgError::ShapeMismatch`].
+    pub fn shape(context: impl Into<String>) -> Self {
+        LinalgError::ShapeMismatch {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`LinalgError::InvalidArgument`].
+    pub fn invalid(context: impl Into<String>) -> Self {
+        LinalgError::InvalidArgument {
+            context: context.into(),
+        }
+    }
+}

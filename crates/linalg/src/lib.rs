@@ -1,0 +1,47 @@
+//! Dense real and complex linear algebra substrate for the NOFIS reproduction.
+//!
+//! This crate provides exactly the numerical kernels the rest of the
+//! workspace needs — no more, no less:
+//!
+//! * [`Matrix`] — dense, row-major `f64` matrices with the usual algebra.
+//! * [`Complex64`] / [`CMatrix`] — complex scalars and matrices for AC
+//!   small-signal circuit analysis and the photonic beam-propagation method.
+//! * [`lu::LuDecomposition`] / [`lu::CluDecomposition`] — LU with partial
+//!   pivoting (real and complex), used by the MNA circuit solver.
+//! * [`tridiag::solve_complex_tridiagonal`] — Thomas algorithm, used by the
+//!   Crank–Nicolson BPM stepper.
+//! * [`lstsq::lstsq`] — linear least squares, used by scaled-sigma sampling's
+//!   model regression.
+//! * [`ode::rk4_integrate`] — classic Runge–Kutta, used by the oscillator
+//!   test case.
+//!
+//! # Example
+//!
+//! ```
+//! use nofis_linalg::{Matrix, lu::LuDecomposition};
+//!
+//! # fn main() -> Result<(), nofis_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod cmatrix;
+mod complex;
+mod error;
+mod matrix;
+
+pub mod lstsq;
+pub mod lu;
+pub mod ode;
+pub mod tridiag;
+
+pub use cmatrix::CMatrix;
+pub use complex::Complex64;
+pub use error::LinalgError;
+pub use matrix::Matrix;

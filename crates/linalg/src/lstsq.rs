@@ -1,0 +1,155 @@
+//! Linear least squares via the normal equations.
+//!
+//! Scaled-sigma sampling (SSS) fits the model
+//! `ln P(s) = alpha + beta * ln(s) + gamma / s^2` by least squares over a
+//! handful of scale points, and the SIR baseline's diagnostics fit small
+//! polynomials. The design matrices involved are tiny (tens of rows, 2–4
+//! columns), so the normal-equation approach is accurate enough.
+
+use crate::{lu::LuDecomposition, LinalgError, Matrix};
+
+/// Solves `min_x || A x - b ||_2` via the normal equations `AᵀA x = Aᵀb`.
+///
+/// A small Tikhonov damping `ridge >= 0` may be supplied to stabilize
+/// ill-conditioned fits (`ridge = 0` is plain least squares).
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `b.len() != a.rows()`.
+/// * [`LinalgError::InvalidArgument`] if `a` has more columns than rows
+///   (underdetermined) or `ridge` is negative/non-finite.
+/// * [`LinalgError::Singular`] if `AᵀA + ridge·I` is singular.
+///
+/// # Example
+///
+/// ```
+/// use nofis_linalg::{Matrix, lstsq::lstsq};
+///
+/// # fn main() -> Result<(), nofis_linalg::LinalgError> {
+/// // Fit y = 2x + 1 exactly.
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]])?;
+/// let x = lstsq(&a, &[1.0, 3.0, 5.0], 0.0)?;
+/// assert!((x[0] - 2.0).abs() < 1e-10 && (x[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::shape(format!(
+            "lstsq rhs of length {} for design matrix with {} rows",
+            b.len(),
+            a.rows()
+        )));
+    }
+    if a.cols() > a.rows() {
+        return Err(LinalgError::invalid(format!(
+            "underdetermined system: {} rows < {} cols",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if !(ridge >= 0.0) || !ridge.is_finite() {
+        return Err(LinalgError::invalid("ridge must be finite and >= 0"));
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    for i in 0..ata.rows() {
+        ata[(i, i)] += ridge;
+    }
+    let atb = at.matvec(b)?;
+    LuDecomposition::new(&ata)?.solve(&atb)
+}
+
+/// Fits a polynomial of degree `degree` to `(x, y)` points, returning
+/// coefficients in ascending-power order (`c0 + c1 x + …`).
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `xs` and `ys` differ in length.
+/// * [`LinalgError::InvalidArgument`] if fewer than `degree + 1` points.
+/// * Propagates solver failures from [`lstsq`].
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::shape(format!(
+            "polyfit over {} xs but {} ys",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < degree + 1 {
+        return Err(LinalgError::invalid(format!(
+            "polyfit of degree {degree} needs at least {} points, got {}",
+            degree + 1,
+            xs.len()
+        )));
+    }
+    let mut design = Matrix::zeros(xs.len(), degree + 1);
+    for (i, &x) in xs.iter().enumerate() {
+        let mut p = 1.0;
+        for j in 0..=degree {
+            design[(i, j)] = p;
+            p *= x;
+        }
+    }
+    lstsq(&design, ys, 0.0)
+}
+
+/// Evaluates a polynomial with ascending-power coefficients at `x`.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_is_recovered() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = lstsq(&a, &[1.0, 2.0, 3.0], 0.0).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_noise_is_averaged() {
+        // y = c with observations 1.0 and 3.0 -> least squares gives 2.0.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let x = lstsq(&a, &[1.0, 3.0], 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_shrinks_solution() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let plain = lstsq(&a, &[2.0, 2.0], 0.0).unwrap()[0];
+        let ridged = lstsq(&a, &[2.0, 2.0], 10.0).unwrap()[0];
+        assert!(ridged.abs() < plain.abs());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = Matrix::zeros(2, 3);
+        assert!(lstsq(&a, &[0.0, 0.0], 0.0).is_err());
+        let a = Matrix::zeros(3, 2);
+        assert!(lstsq(&a, &[0.0, 0.0], 0.0).is_err()); // wrong rhs length
+        assert!(lstsq(&a, &[0.0; 3], -1.0).is_err());
+    }
+
+    #[test]
+    fn polyfit_quadratic() {
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-9);
+        assert!((c[1] + 1.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+        assert!((polyval(&c, 10.0) - (2.0 - 10.0 + 50.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn polyfit_needs_enough_points() {
+        assert!(polyfit(&[0.0, 1.0], &[0.0, 1.0], 2).is_err());
+        assert!(polyfit(&[0.0, 1.0], &[0.0], 1).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! LU decomposition with partial pivoting, real and complex.
+//!
+//! These factorizations back the MNA circuit solver: the DC Newton loop
+//! refactorizes the real Jacobian each iteration, while AC analysis solves a
+//! complex system `(G + jωC) x = b` per frequency point.
+
+use crate::{CMatrix, Complex64, LinalgError, Matrix};
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const PIVOT_EPS: f64 = 1e-13;
+
+/// LU factorization (with partial pivoting) of a real square matrix.
+///
+/// # Example
+///
+/// ```
+/// use nofis_linalg::{Matrix, lu::LuDecomposition};
+///
+/// # fn main() -> Result<(), nofis_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed L (unit lower, implicit diagonal) and U factors.
+    lu: Matrix,
+    /// Row permutation applied during pivoting.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot is numerically zero.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::invalid(format!(
+                "LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivoting: find the largest entry in column k at or below row k.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max <= PIVOT_EPS * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::shape(format!(
+                "rhs of length {} for a system of dimension {n}",
+                b.len()
+            )));
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Computes the matrix inverse column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve`] (none expected for a
+    /// successfully factorized matrix).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// LU factorization (with partial pivoting) of a complex square matrix.
+///
+/// The complex analogue of [`LuDecomposition`], used to solve the AC
+/// small-signal system `(G + jωC) x = b`.
+#[derive(Debug, Clone)]
+pub struct CluDecomposition {
+    lu: CMatrix,
+    perm: Vec<usize>,
+}
+
+impl CluDecomposition {
+    /// Factorizes a complex square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot is numerically zero.
+    pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::invalid(format!(
+                "complex LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let scale = lu
+            .as_slice()
+            .iter()
+            .fold(1.0_f64, |m, z| m.max(z.abs()));
+
+        for k in 0..n {
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max <= PIVOT_EPS * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    let delta = m * ukj;
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(CluDecomposition { lu, perm })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` in complex arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::shape(format!(
+                "rhs of length {} for a system of dimension {n}",
+                b.len()
+            )));
+        }
+        let mut x: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        ax.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[2.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.det() - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = Matrix::identity(2);
+        assert!((&prod - &eye).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_solve_round_trip() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex64::new(1.0, 1.0);
+        a[(0, 1)] = Complex64::new(0.0, -2.0);
+        a[(1, 0)] = Complex64::new(3.0, 0.0);
+        a[(1, 1)] = Complex64::new(1.0, -1.0);
+        let b = vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 1.0)];
+        let lu = CluDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((*p - *q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_detects_singular() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex64::ONE;
+        a[(0, 1)] = Complex64::ONE;
+        a[(1, 0)] = Complex64::ONE;
+        a[(1, 1)] = Complex64::ONE;
+        assert!(matches!(
+            CluDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

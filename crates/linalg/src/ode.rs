@@ -1,0 +1,147 @@
+//! Fixed-step classic Runge–Kutta (RK4) integration.
+//!
+//! The oscillator test case integrates a nonlinear two-degree-of-freedom
+//! oscillator over a load pulse; RK4 with a fixed step is plenty for the
+//! smooth dynamics involved.
+
+use crate::LinalgError;
+
+/// Integrates `dy/dt = f(t, y)` from `t0` to `t1` with `steps` RK4 steps.
+///
+/// `observer` is invoked after every step with `(t, y)`; use it to track
+/// quantities such as the peak displacement without storing the full
+/// trajectory.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `steps == 0`, `t1 <= t0`, or
+/// `y0` is empty.
+///
+/// # Example
+///
+/// ```
+/// use nofis_linalg::ode::rk4_integrate;
+///
+/// # fn main() -> Result<(), nofis_linalg::LinalgError> {
+/// // dy/dt = -y  =>  y(1) = e^{-1}
+/// let y = rk4_integrate(0.0, 1.0, &[1.0], 100, |_, y, dy| dy[0] = -y[0], |_, _| {})?;
+/// assert!((y[0] - (-1.0_f64).exp()).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rk4_integrate(
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    steps: usize,
+    mut f: impl FnMut(f64, &[f64], &mut [f64]),
+    mut observer: impl FnMut(f64, &[f64]),
+) -> Result<Vec<f64>, LinalgError> {
+    if steps == 0 {
+        return Err(LinalgError::invalid("rk4 requires at least one step"));
+    }
+    if !(t1 > t0) {
+        return Err(LinalgError::invalid(format!(
+            "rk4 requires t1 > t0, got t0={t0}, t1={t1}"
+        )));
+    }
+    if y0.is_empty() {
+        return Err(LinalgError::invalid("rk4 state must be non-empty"));
+    }
+
+    let n = y0.len();
+    let h = (t1 - t0) / steps as f64;
+    let mut y = y0.to_vec();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    let mut t = t0;
+    for _ in 0..steps {
+        f(t, &y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        f(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        observer(t, &y);
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay() {
+        let y = rk4_integrate(0.0, 2.0, &[3.0], 200, |_, y, dy| dy[0] = -0.5 * y[0], |_, _| {})
+            .unwrap();
+        let exact = 3.0 * (-1.0_f64).exp();
+        assert!((y[0] - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        // y'' = -y as a first-order system; energy = y^2 + v^2 should be ~constant.
+        let y = rk4_integrate(
+            0.0,
+            2.0 * std::f64::consts::PI,
+            &[1.0, 0.0],
+            1000,
+            |_, y, dy| {
+                dy[0] = y[1];
+                dy[1] = -y[0];
+            },
+            |_, _| {},
+        )
+        .unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-8);
+        assert!(y[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let mut count = 0;
+        rk4_integrate(0.0, 1.0, &[0.0], 17, |_, _, dy| dy[0] = 1.0, |_, _| count += 1).unwrap();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn observer_can_track_peak() {
+        let mut peak = f64::NEG_INFINITY;
+        rk4_integrate(
+            0.0,
+            std::f64::consts::PI,
+            &[0.0, 1.0],
+            500,
+            |_, y, dy| {
+                dy[0] = y[1];
+                dy[1] = -y[0];
+            },
+            |_, y| peak = peak.max(y[0]),
+        )
+        .unwrap();
+        assert!((peak - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(rk4_integrate(0.0, 1.0, &[0.0], 0, |_, _, _| {}, |_, _| {}).is_err());
+        assert!(rk4_integrate(1.0, 0.0, &[0.0], 10, |_, _, _| {}, |_, _| {}).is_err());
+        assert!(rk4_integrate(0.0, 1.0, &[], 10, |_, _, _| {}, |_, _| {}).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Tridiagonal system solvers (Thomas algorithm).
+//!
+//! The Crank–Nicolson beam-propagation stepper in `nofis-photonics` solves
+//! one complex tridiagonal system per propagation step, so this is on the
+//! hot path of the Y-branch test case.
+
+use crate::{Complex64, LinalgError};
+
+/// Solves a complex tridiagonal system `A x = d` in place using the Thomas
+/// algorithm.
+///
+/// `lower`, `diag`, and `upper` are the sub-, main-, and super-diagonals;
+/// `lower[0]` and `upper[n-1]` are ignored by convention (they do not exist
+/// in the matrix) but must be present so all four slices have length `n`.
+///
+/// The Thomas algorithm is only unconditionally stable for diagonally
+/// dominant systems — which Crank–Nicolson matrices are — so no pivoting is
+/// performed.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if the slices differ in length.
+/// * [`LinalgError::InvalidArgument`] if the system is empty.
+/// * [`LinalgError::Singular`] if an eliminated pivot vanishes.
+///
+/// # Example
+///
+/// ```
+/// use nofis_linalg::{Complex64, tridiag::solve_complex_tridiagonal};
+///
+/// # fn main() -> Result<(), nofis_linalg::LinalgError> {
+/// let n = 4;
+/// let lower = vec![Complex64::from_real(-1.0); n];
+/// let diag = vec![Complex64::from_real(2.0); n];
+/// let upper = vec![Complex64::from_real(-1.0); n];
+/// let d = vec![Complex64::from_real(1.0); n];
+/// let x = solve_complex_tridiagonal(&lower, &diag, &upper, &d)?;
+/// // Discrete Poisson problem: symmetric solution.
+/// assert!((x[0] - x[3]).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_complex_tridiagonal(
+    lower: &[Complex64],
+    diag: &[Complex64],
+    upper: &[Complex64],
+    d: &[Complex64],
+) -> Result<Vec<Complex64>, LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Err(LinalgError::invalid("empty tridiagonal system"));
+    }
+    if lower.len() != n || upper.len() != n || d.len() != n {
+        return Err(LinalgError::shape(format!(
+            "tridiagonal bands must all have length {n}: got lower={}, upper={}, rhs={}",
+            lower.len(),
+            upper.len(),
+            d.len()
+        )));
+    }
+
+    let mut c_prime = vec![Complex64::ZERO; n];
+    let mut d_prime = vec![Complex64::ZERO; n];
+
+    let mut denom = diag[0];
+    if denom.abs() == 0.0 {
+        return Err(LinalgError::Singular { pivot: 0 });
+    }
+    c_prime[0] = upper[0] / denom;
+    d_prime[0] = d[0] / denom;
+
+    for i in 1..n {
+        denom = diag[i] - lower[i] * c_prime[i - 1];
+        if denom.abs() == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        if i + 1 < n {
+            c_prime[i] = upper[i] / denom;
+        }
+        d_prime[i] = (d[i] - lower[i] * d_prime[i - 1]) / denom;
+    }
+
+    let mut x = d_prime;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c_prime[i] * next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_tridiag(
+        lower: &[Complex64],
+        diag: &[Complex64],
+        upper: &[Complex64],
+        x: &[Complex64],
+    ) -> Vec<Complex64> {
+        let n = diag.len();
+        let mut out = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            let mut acc = diag[i] * x[i];
+            if i > 0 {
+                acc += lower[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += upper[i] * x[i + 1];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        let n = 16;
+        let lower: Vec<_> = (0..n)
+            .map(|i| Complex64::new(-0.5, 0.1 * i as f64 / n as f64))
+            .collect();
+        let upper: Vec<_> = (0..n)
+            .map(|i| Complex64::new(-0.4, -0.05 * i as f64 / n as f64))
+            .collect();
+        let diag: Vec<_> = (0..n).map(|_| Complex64::new(2.0, 0.3)).collect();
+        let d: Vec<_> = (0..n)
+            .map(|i| Complex64::new(i as f64, 1.0 - i as f64))
+            .collect();
+        let x = solve_complex_tridiagonal(&lower, &diag, &upper, &d).unwrap();
+        let ax = apply_tridiag(&lower, &diag, &upper, &x);
+        for (p, q) in ax.iter().zip(&d) {
+            assert!((*p - *q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn one_by_one_system() {
+        let x = solve_complex_tridiagonal(
+            &[Complex64::ZERO],
+            &[Complex64::new(2.0, 0.0)],
+            &[Complex64::ZERO],
+            &[Complex64::new(4.0, 2.0)],
+        )
+        .unwrap();
+        assert!((x[0] - Complex64::new(2.0, 1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(solve_complex_tridiagonal(&[], &[], &[], &[]).is_err());
+        let z = Complex64::ZERO;
+        assert!(solve_complex_tridiagonal(&[z], &[z, z], &[z, z], &[z, z]).is_err());
+    }
+
+    #[test]
+    fn detects_zero_pivot() {
+        let z = Complex64::ZERO;
+        let err =
+            solve_complex_tridiagonal(&[z, z], &[z, Complex64::ONE], &[z, z], &[z, z]).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { pivot: 0 }));
+    }
+}

@@ -1,0 +1,189 @@
+use nofis_autograd::{ParamId, ParamStore, Tensor};
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+///
+/// Frozen parameters (see [`ParamStore::set_frozen`]) are skipped entirely
+/// — their moment state is not advanced — which implements NOFIS's
+/// stage-freezing policy.
+///
+/// # Example
+///
+/// ```
+/// use nofis_autograd::{Graph, ParamStore, Tensor};
+/// use nofis_nn::Adam;
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add(Tensor::scalar(5.0));
+/// let mut opt = Adam::new(0.1);
+/// for _ in 0..200 {
+///     let mut g = Graph::new();
+///     let wv = store.inject(&mut g, w);
+///     let sq = g.square(wv);
+///     let loss = g.sum_all(sq);
+///     g.backward(loss);
+///     opt.step(&mut store, &g.param_grads());
+/// }
+/// assert!(store.get(w).item().abs() < 1e-2); // minimizes w^2
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    /// Per-parameter first/second moment estimates, keyed by param index.
+    moments: Vec<Option<(Tensor, Tensor)>>,
+    /// Per-parameter step counts (bias correction is per parameter so that
+    /// freezing and later unfreezing behaves sensibly).
+    steps: Vec<u64>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given learning rate and the standard
+    /// defaults `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an optimizer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, the betas are outside `[0, 1)`, or `eps <= 0`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0, 1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            moments: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for a decay schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update to every non-frozen parameter in `grads`.
+    ///
+    /// Gradients with non-finite entries are skipped defensively (a diverged
+    /// batch then simply does not move the parameters).
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        for (id, grad) in grads {
+            if store.is_frozen(*id) || !grad.is_finite() {
+                continue;
+            }
+            let idx = id.index();
+            if idx >= self.moments.len() {
+                self.moments.resize(idx + 1, None);
+                self.steps.resize(idx + 1, 0);
+            }
+            let param = store.get_mut(*id);
+            let (m, v) = self.moments[idx].get_or_insert_with(|| {
+                (
+                    Tensor::zeros(param.rows(), param.cols()),
+                    Tensor::zeros(param.rows(), param.cols()),
+                )
+            });
+            self.steps[idx] += 1;
+            let t = self.steps[idx] as f64;
+            let (b1, b2) = (self.beta1, self.beta2);
+            let bc1 = 1.0 - b1.powf(t);
+            let bc2 = 1.0 - b2.powf(t);
+            for k in 0..param.len() {
+                let gk = grad.as_slice()[k];
+                let mk = &mut m.as_mut_slice()[k];
+                *mk = b1 * *mk + (1.0 - b1) * gk;
+                let vk = &mut v.as_mut_slice()[k];
+                *vk = b2 * *vk + (1.0 - b2) * gk * gk;
+                let m_hat = *mk / bc1;
+                let v_hat = *vk / bc2;
+                param.as_mut_slice()[k] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nofis_autograd::Graph;
+
+    fn quadratic_step(store: &mut ParamStore, w: ParamId) -> Vec<(ParamId, Tensor)> {
+        let mut g = Graph::new();
+        let wv = store.inject(&mut g, w);
+        let sq = g.square(wv);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.param_grads()
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add(Tensor::from_row(&[3.0, -4.0]));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..800 {
+            let grads = quadratic_step(&mut store, w);
+            opt.step(&mut store, &grads);
+        }
+        assert!(store.get(w).max_abs() < 1e-2);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut store = ParamStore::new();
+        let w = store.add(Tensor::scalar(2.0));
+        store.set_frozen(w, true);
+        let mut opt = Adam::new(0.1);
+        let grads = quadratic_step(&mut store, w);
+        opt.step(&mut store, &grads);
+        assert_eq!(store.get(w).item(), 2.0);
+        store.set_frozen(w, false);
+        let grads = quadratic_step(&mut store, w);
+        opt.step(&mut store, &grads);
+        assert!(store.get(w).item() < 2.0);
+    }
+
+    #[test]
+    fn non_finite_grads_are_skipped() {
+        let mut store = ParamStore::new();
+        let w = store.add(Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &[(w, Tensor::scalar(f64::NAN))]);
+        assert_eq!(store.get(w).item(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_lr() {
+        let _ = Adam::new(-0.1);
+    }
+
+    #[test]
+    fn set_lr_changes_rate() {
+        let mut opt = Adam::new(0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+}

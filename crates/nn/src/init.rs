@@ -1,0 +1,73 @@
+//! Weight initialization schemes.
+
+use nofis_autograd::Tensor;
+use rand::Rng;
+use rand_distr::StandardNormal;
+
+/// Initialization scheme for linear layers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Init {
+    /// Xavier/Glorot normal: `std = sqrt(2 / (fan_in + fan_out))`. Good for
+    /// `tanh` networks — the default for the coupling nets.
+    #[default]
+    Xavier,
+    /// He normal: `std = sqrt(2 / fan_in)`. Good for ReLU networks.
+    He,
+    /// All zeros. Coupling layers use zero-initialized *output* layers so
+    /// the flow starts at the identity map.
+    Zero,
+    /// Gaussian with an explicit standard deviation.
+    Normal(
+        /// Standard deviation of each weight.
+        f64,
+    ),
+}
+
+impl Init {
+    /// Samples a `rows x cols` weight tensor (`rows = fan_in`,
+    /// `cols = fan_out` for our `x @ w` convention).
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+        let std = match self {
+            Init::Xavier => (2.0 / (rows + cols) as f64).sqrt(),
+            Init::He => (2.0 / rows as f64).sqrt(),
+            Init::Zero => return Tensor::zeros(rows, cols),
+            Init::Normal(s) => s,
+        };
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.as_mut_slice() {
+            let z: f64 = rng.sample(StandardNormal);
+            *v = std * z;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_scale_is_sane() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Init::Xavier.sample(100, 100, &mut rng);
+        let var = t.as_slice().iter().map(|x| x * x).sum::<f64>() / t.len() as f64;
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2);
+    }
+
+    #[test]
+    fn zero_init_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Init::Zero.sample(3, 4, &mut rng);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn explicit_normal_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Init::Normal(0.01).sample(50, 50, &mut rng);
+        assert!(t.max_abs() < 0.1);
+    }
+}

@@ -1,0 +1,293 @@
+//! High-level surrogate model training.
+//!
+//! The SIR baseline fits a regression surrogate of the limit-state function
+//! `g`, and the SUC baseline fits per-level binary classifiers; both reuse
+//! these wrappers.
+
+use crate::{Activation, Adam, Mlp};
+use nofis_autograd::{Graph, ParamStore, Tensor};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters for surrogate training.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            batch_size: 64,
+            lr: 3e-3,
+        }
+    }
+}
+
+/// A feed-forward regression surrogate `R^D -> R` trained with MSE loss.
+///
+/// Targets are standardized internally so widely scaled limit-state values
+/// (dB gains, µA mismatches) train equally well.
+///
+/// # Example
+///
+/// ```
+/// use nofis_autograd::Tensor;
+/// use nofis_nn::{Regressor, TrainConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let x = Tensor::from_fn(64, 1, |r, _| r as f64 / 32.0 - 1.0);
+/// let y: Vec<f64> = (0..64).map(|r| {
+///     let v = r as f64 / 32.0 - 1.0;
+///     2.0 * v
+/// }).collect();
+/// let model = Regressor::fit(&x, &y, &[16], TrainConfig::default(), &mut rng);
+/// assert!((model.predict_one(&[0.5]) - 1.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regressor {
+    store: ParamStore,
+    net: Mlp,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Regressor {
+    /// Trains a surrogate on rows of `x` against targets `y`.
+    ///
+    /// `hidden` lists the hidden layer widths (the input/output sizes are
+    /// inferred).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `y.len() != x.rows()`.
+    pub fn fit(
+        x: &Tensor,
+        y: &[f64],
+        hidden: &[usize],
+        config: TrainConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(x.rows() > 0, "cannot fit a regressor on an empty dataset");
+        assert_eq!(y.len(), x.rows(), "target length must match sample count");
+
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+        let y_std = var.sqrt().max(1e-12);
+        let targets: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut dims = vec![x.cols()];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, &dims, Activation::Tanh, rng);
+        let mut opt = Adam::new(config.lr);
+
+        let n = x.rows();
+        let bs = config.batch_size.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(bs) {
+                let xb = Tensor::from_fn(chunk.len(), x.cols(), |r, c| x[(chunk[r], c)]);
+                let yb = Tensor::from_fn(chunk.len(), 1, |r, _| targets[chunk[r]]);
+                let mut g = Graph::new();
+                let xv = g.constant(xb);
+                let yv = g.constant(yb);
+                let pred = net.forward(&store, &mut g, xv);
+                let diff = g.sub(pred, yv);
+                let sq = g.square(diff);
+                let loss = g.mean_all(sq);
+                g.backward(loss);
+                opt.step(&mut store, &g.param_grads());
+            }
+        }
+        Regressor {
+            store,
+            net,
+            y_mean,
+            y_std,
+        }
+    }
+
+    /// Predicts targets for a batch of rows.
+    pub fn predict(&self, x: &Tensor) -> Vec<f64> {
+        let raw = self.net.predict(&self.store, x);
+        raw.as_slice()
+            .iter()
+            .map(|&v| v * self.y_std + self.y_mean)
+            .collect()
+    }
+
+    /// Predicts the target for a single point.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        self.predict(&Tensor::from_row(x))[0]
+    }
+}
+
+/// A feed-forward binary classifier `R^D -> [0, 1]` trained with logistic
+/// loss.
+///
+/// # Example
+///
+/// ```
+/// use nofis_autograd::Tensor;
+/// use nofis_nn::{Classifier, TrainConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let x = Tensor::from_fn(64, 1, |r, _| r as f64 / 32.0 - 1.0);
+/// let labels: Vec<bool> = (0..64).map(|r| r >= 32).collect();
+/// let model = Classifier::fit(&x, &labels, &[8], TrainConfig::default(), &mut rng);
+/// assert!(model.predict_proba_one(&[0.9]) > 0.5);
+/// assert!(model.predict_proba_one(&[-0.9]) < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    store: ParamStore,
+    net: Mlp,
+}
+
+impl Classifier {
+    /// Trains a classifier on rows of `x` against boolean labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `labels.len() != x.rows()`.
+    pub fn fit(
+        x: &Tensor,
+        labels: &[bool],
+        hidden: &[usize],
+        config: TrainConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(x.rows() > 0, "cannot fit a classifier on an empty dataset");
+        assert_eq!(labels.len(), x.rows(), "label length must match sample count");
+
+        let mut dims = vec![x.cols()];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, &dims, Activation::Tanh, rng);
+        let mut opt = Adam::new(config.lr);
+
+        let n = x.rows();
+        let bs = config.batch_size.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(bs) {
+                let xb = Tensor::from_fn(chunk.len(), x.cols(), |r, c| x[(chunk[r], c)]);
+                let yb = Tensor::from_fn(
+                    chunk.len(),
+                    1,
+                    |r, _| if labels[chunk[r]] { 1.0 } else { 0.0 },
+                );
+                let mut g = Graph::new();
+                let xv = g.constant(xb);
+                let yv = g.constant(yb);
+                let logits = net.forward(&store, &mut g, xv);
+                // Stable BCE-with-logits: softplus(z) - y*z.
+                let sp = g.softplus(logits);
+                let yz = g.mul(yv, logits);
+                let per_sample = g.sub(sp, yz);
+                let loss = g.mean_all(per_sample);
+                g.backward(loss);
+                opt.step(&mut store, &g.param_grads());
+            }
+        }
+        Classifier { store, net }
+    }
+
+    /// Predicted probabilities of the positive class, one per row of `x`.
+    pub fn predict_proba(&self, x: &Tensor) -> Vec<f64> {
+        let logits = self.net.predict(&self.store, x);
+        logits
+            .as_slice()
+            .iter()
+            .map(|&z| {
+                if z >= 0.0 {
+                    1.0 / (1.0 + (-z).exp())
+                } else {
+                    let e = z.exp();
+                    e / (1.0 + e)
+                }
+            })
+            .collect()
+    }
+
+    /// Predicted probability of the positive class for one point.
+    pub fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        self.predict_proba(&Tensor::from_row(x))[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regressor_learns_linear_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data_rng = StdRng::seed_from_u64(11);
+        let data: Vec<f64> = (0..512)
+            .map(|_| rand::Rng::gen_range(&mut data_rng, -1.0..1.0))
+            .collect();
+        let x = Tensor::from_vec(256, 2, data);
+        let y: Vec<f64> = (0..256).map(|r| 3.0 * x[(r, 0)] - x[(r, 1)] + 0.5).collect();
+        let model = Regressor::fit(&x, &y, &[16, 16], TrainConfig::default(), &mut rng);
+        let pred = model.predict_one(&[0.5, -0.5]);
+        assert!((pred - (1.5 + 0.5 + 0.5)).abs() < 0.25, "pred={pred}");
+    }
+
+    #[test]
+    fn regressor_handles_constant_targets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::from_fn(16, 1, |r, _| r as f64);
+        let y = vec![5.0; 16];
+        let model = Regressor::fit(
+            &x,
+            &y,
+            &[4],
+            TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!((model.predict_one(&[3.0]) - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn classifier_separates_halves() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::from_fn(100, 2, |r, c| {
+            let t = r as f64 / 50.0 - 1.0;
+            if c == 0 {
+                t
+            } else {
+                (r % 7) as f64 / 7.0 - 0.5
+            }
+        });
+        let labels: Vec<bool> = (0..100).map(|r| x[(r, 0)] > 0.0).collect();
+        let model = Classifier::fit(&x, &labels, &[8], TrainConfig::default(), &mut rng);
+        assert!(model.predict_proba_one(&[0.8, 0.0]) > 0.7);
+        assert!(model.predict_proba_one(&[-0.8, 0.0]) < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn regressor_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Regressor::fit(&Tensor::zeros(0, 2), &[], &[4], TrainConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,274 @@
+//! Y-branch splitter geometry with parameterized sidewall deformation.
+
+/// Smooth logistic step used for soft core boundaries.
+fn smooth_step(t: f64) -> f64 {
+    if t >= 0.0 {
+        1.0 / (1.0 + (-t).exp())
+    } else {
+        let e = t.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn smooth_step_deriv(t: f64) -> f64 {
+    let s = smooth_step(t);
+    s * (1.0 - s)
+}
+
+/// A symmetric Y-branch: one input waveguide splitting into two linearly
+/// separating arms, with the waveguide *width* perturbed along `z` by a
+/// truncated Fourier series — the paper's "random boundary deformation".
+///
+/// All lengths are in micrometers.
+///
+/// # Example
+///
+/// ```
+/// use nofis_photonics::YBranch;
+///
+/// let yb = YBranch::new(26);
+/// // Nominal geometry: a guide core exists at the input center...
+/// assert!(yb.index_squared(0.0, 0.0, &vec![0.0; 26]) > yb.n_clad() * yb.n_clad());
+/// // ...and at the arm centers near the output.
+/// let c = yb.arm_separation() ;
+/// assert!(yb.index_squared(c, yb.length(), &vec![0.0; 26]) > 1.02 * yb.n_clad() * yb.n_clad());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct YBranch {
+    n_core: f64,
+    n_clad: f64,
+    /// Nominal waveguide core half-width.
+    half_width: f64,
+    /// z at which the arms start separating.
+    split_start: f64,
+    /// Total device length.
+    length: f64,
+    /// Final center offset of each arm.
+    arm_sep: f64,
+    /// Boundary smoothing width.
+    edge_softness: f64,
+    /// Deformation amplitude per unit Fourier coefficient.
+    deform_sigma: f64,
+    /// Number of Fourier deformation modes (the variation dimension).
+    n_modes: usize,
+}
+
+impl YBranch {
+    /// Creates the nominal geometry with `n_modes` deformation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_modes == 0`.
+    pub fn new(n_modes: usize) -> Self {
+        Self::with_deform_sigma(n_modes, 0.38)
+    }
+
+    /// Creates the geometry with an explicit deformation amplitude per
+    /// unit Fourier coefficient (µm) — the calibration knob aligning the
+    /// failure probability with the paper's golden value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_modes == 0` or `deform_sigma <= 0`.
+    pub fn with_deform_sigma(n_modes: usize, deform_sigma: f64) -> Self {
+        assert!(n_modes > 0, "need at least one deformation mode");
+        assert!(deform_sigma > 0.0, "deformation amplitude must be positive");
+        YBranch {
+            n_core: 1.56,
+            n_clad: 1.50,
+            half_width: 1.0,
+            split_start: 8.0,
+            length: 40.0,
+            arm_sep: 3.0,
+            edge_softness: 0.15,
+            deform_sigma,
+            n_modes,
+        }
+    }
+
+    /// Core refractive index.
+    pub fn n_core(&self) -> f64 {
+        self.n_core
+    }
+
+    /// Cladding refractive index.
+    pub fn n_clad(&self) -> f64 {
+        self.n_clad
+    }
+
+    /// Device length along `z`.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Final lateral offset of each arm center.
+    pub fn arm_separation(&self) -> f64 {
+        self.arm_sep
+    }
+
+    /// Nominal core half-width.
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Number of deformation modes.
+    pub fn n_modes(&self) -> usize {
+        self.n_modes
+    }
+
+    /// Arm center positions `±c(z)`.
+    fn centers(&self, z: f64) -> (f64, f64) {
+        if z <= self.split_start {
+            (0.0, 0.0)
+        } else {
+            let t = (z - self.split_start) / (self.length - self.split_start);
+            let c = self.arm_sep * t;
+            (-c, c)
+        }
+    }
+
+    /// Width perturbation `δw(z) = σ · Σ_j x_j sin(π j z / L)`.
+    fn deformation(&self, z: f64, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.n_modes);
+        let mut acc = 0.0;
+        for (j, &c) in x.iter().enumerate() {
+            acc += c * (std::f64::consts::PI * (j + 1) as f64 * z / self.length).sin();
+        }
+        self.deform_sigma * acc
+    }
+
+    /// Smooth "in-core" indicator (union of the two arms) and its
+    /// derivative with respect to the half-width.
+    fn indicator(&self, xpos: f64, z: f64, half_w: f64) -> (f64, f64) {
+        let (c1, c2) = self.centers(z);
+        let mut inds = [0.0; 2];
+        let mut dinds = [0.0; 2];
+        for (k, &c) in [c1, c2].iter().enumerate() {
+            let tl = (xpos - (c - half_w)) / self.edge_softness;
+            let tr = ((c + half_w) - xpos) / self.edge_softness;
+            let sl = smooth_step(tl);
+            let sr = smooth_step(tr);
+            inds[k] = sl * sr;
+            // d/d(half_w): left edge moves out (+), right edge moves out (+).
+            dinds[k] = (smooth_step_deriv(tl) * sr + sl * smooth_step_deriv(tr))
+                / self.edge_softness;
+        }
+        if self.centers(z).0 == self.centers(z).1 {
+            // Arms coincide (input section): a single guide.
+            (inds[0], dinds[0])
+        } else {
+            // Smooth union so the junction region stays bounded by 1.
+            let u = inds[0] + inds[1] - inds[0] * inds[1];
+            let du = dinds[0] * (1.0 - inds[1]) + dinds[1] * (1.0 - inds[0]);
+            (u, du)
+        }
+    }
+
+    /// Squared refractive index at `(x, z)` under deformation `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_modes()`.
+    pub fn index_squared(&self, xpos: f64, z: f64, params: &[f64]) -> f64 {
+        assert_eq!(params.len(), self.n_modes, "deformation dimension mismatch");
+        let half_w = (self.half_width + self.deformation(z, params)).max(0.05);
+        let (ind, _) = self.indicator(xpos, z, half_w);
+        let (nc2, ncl2) = (self.n_core * self.n_core, self.n_clad * self.n_clad);
+        ncl2 + (nc2 - ncl2) * ind
+    }
+
+    /// Squared index together with its derivative with respect to the
+    /// *width perturbation* `δw` (the per-mode gradient is this value times
+    /// `σ sin(π j z / L)`, which the BPM adjoint applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_modes()`.
+    pub fn index_squared_dw(&self, xpos: f64, z: f64, params: &[f64]) -> (f64, f64) {
+        assert_eq!(params.len(), self.n_modes, "deformation dimension mismatch");
+        let raw = self.half_width + self.deformation(z, params);
+        let half_w = raw.max(0.05);
+        let (ind, dind) = self.indicator(xpos, z, half_w);
+        let (nc2, ncl2) = (self.n_core * self.n_core, self.n_clad * self.n_clad);
+        let dw_active = if raw > 0.05 { 1.0 } else { 0.0 };
+        (
+            ncl2 + (nc2 - ncl2) * ind,
+            (nc2 - ncl2) * dind * dw_active,
+        )
+    }
+
+    /// The per-mode deformation basis value `σ sin(π j z / L)` for mode
+    /// index `j` (0-based).
+    pub fn mode_basis(&self, j: usize, z: f64) -> f64 {
+        self.deform_sigma * (std::f64::consts::PI * (j + 1) as f64 * z / self.length).sin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_profile_shapes() {
+        let yb = YBranch::new(4);
+        let zero = vec![0.0; 4];
+        let ncl2 = yb.n_clad() * yb.n_clad();
+        let nc2 = yb.n_core() * yb.n_core();
+        // Deep cladding.
+        assert!((yb.index_squared(6.0, 0.0, &zero) - ncl2).abs() < 1e-6);
+        // Input core center.
+        assert!((yb.index_squared(0.0, 0.0, &zero) - nc2).abs() < 1e-3);
+        // At the output, the center is cladding and arms are core.
+        assert!(yb.index_squared(0.0, 40.0, &zero) < ncl2 + 0.5 * (nc2 - ncl2));
+        assert!(yb.index_squared(3.0, 40.0, &zero) > ncl2 + 0.5 * (nc2 - ncl2));
+    }
+
+    #[test]
+    fn positive_mode_coefficient_widens_guide() {
+        let yb = YBranch::new(2);
+        let widened = vec![1.0, 0.0];
+        let zero = vec![0.0; 2];
+        // At the guide edge near mid-device, widening raises the index.
+        let z = 4.0; // sin(pi z / L) > 0
+        let edge = yb.half_width();
+        assert!(yb.index_squared(edge, z, &widened) > yb.index_squared(edge, z, &zero));
+    }
+
+    #[test]
+    fn dw_derivative_matches_finite_difference() {
+        let yb = YBranch::new(3);
+        let params = vec![0.4, -0.2, 0.1];
+        for &(x, z) in &[(0.9, 5.0), (1.2, 20.0), (-2.5, 35.0), (3.1, 39.0)] {
+            let (_, dw) = yb.index_squared_dw(x, z, &params);
+            // Perturb via the first mode and divide by the basis value.
+            let basis = yb.mode_basis(0, z);
+            if basis.abs() < 1e-9 {
+                continue;
+            }
+            let eps = 1e-6;
+            let mut pp = params.clone();
+            pp[0] += eps;
+            let fp = yb.index_squared(x, z, &pp);
+            pp[0] -= 2.0 * eps;
+            let fm = yb.index_squared(x, z, &pp);
+            let fd = (fp - fm) / (2.0 * eps) / basis;
+            assert!(
+                (dw - fd).abs() < 1e-5 * fd.abs().max(1.0),
+                "at ({x},{z}): analytic {dw} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_never_exceeds_core_index() {
+        let yb = YBranch::new(1);
+        let zero = vec![0.0];
+        let nc2 = yb.n_core() * yb.n_core();
+        // Junction region where the arms overlap.
+        for x in [-1.0, -0.5, 0.0, 0.5, 1.0] {
+            for z in [8.0, 9.0, 10.0, 12.0] {
+                assert!(yb.index_squared(x, z, &zero) <= nc2 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Scalar beam-propagation method (BPM) for photonic Y-branch yield
+//! analysis.
+//!
+//! The paper's Y-branch test case (#9) uses a commercial photonic solver
+//! under random boundary deformation; this crate provides the from-scratch
+//! substitute: a Crank–Nicolson scalar BPM ([`BpmSolver`]) over a
+//! parameterized [`YBranch`] geometry whose sidewalls are deformed by a
+//! truncated Fourier series, plus an adjoint pass that returns the full
+//! deformation gradient of the power transmission at the cost of one extra
+//! sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use nofis_photonics::{BpmConfig, BpmSolver, YBranch};
+//!
+//! # fn main() -> Result<(), nofis_linalg::LinalgError> {
+//! let solver = BpmSolver::new(YBranch::new(26), BpmConfig::default());
+//! let (t, grad) = solver.run_with_gradient(&vec![0.0; 26])?;
+//! assert!(t > 0.5);
+//! assert_eq!(grad.len(), 26);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod bpm;
+mod geometry;
+
+pub use bpm::{BpmConfig, BpmRun, BpmSolver};
+pub use geometry::YBranch;

@@ -1,0 +1,155 @@
+//! Importance-weight diagnostics.
+//!
+//! An IS estimate can be silently catastrophic: if the proposal misses a
+//! region of `Ω` carrying most of the `p`-mass, the estimator looks
+//! low-variance while being badly biased-in-practice. These diagnostics
+//! catch the detectable half of that failure mode — heavy right tails in
+//! the realized weights.
+
+/// Summary statistics of a set of importance weights.
+///
+/// # Example
+///
+/// ```
+/// use nofis_prob::WeightDiagnostics;
+///
+/// // Well-behaved weights.
+/// let d = WeightDiagnostics::from_log_weights(&[0.0, 0.1, -0.1, 0.05]);
+/// assert!(d.max_weight_share < 0.5);
+/// assert!(d.effective_sample_size > 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightDiagnostics {
+    /// Number of weights.
+    pub count: usize,
+    /// Kish effective sample size `(Σw)² / Σw²`.
+    pub effective_sample_size: f64,
+    /// Largest single weight's share of the total (1.0 = one sample
+    /// dominates completely).
+    pub max_weight_share: f64,
+    /// Hill estimator of the weight tail index over the top 20% order
+    /// statistics; values **below ~2** indicate infinite-variance weights
+    /// (the IS estimate cannot be trusted), `None` when fewer than 10
+    /// weights are available.
+    pub hill_tail_index: Option<f64>,
+}
+
+impl WeightDiagnostics {
+    /// Computes diagnostics from log-weights (numerically stable for the
+    /// extreme ratios rare-event IS produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_weights` is empty or contains NaN.
+    pub fn from_log_weights(log_weights: &[f64]) -> Self {
+        assert!(!log_weights.is_empty(), "need at least one weight");
+        assert!(
+            log_weights.iter().all(|w| !w.is_nan()),
+            "NaN log-weight encountered"
+        );
+        let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let scaled: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
+        let sum: f64 = scaled.iter().sum();
+        let sum_sq: f64 = scaled.iter().map(|w| w * w).sum();
+        let ess = if sum_sq > 0.0 { sum * sum / sum_sq } else { 0.0 };
+        let max_share = scaled.iter().copied().fold(0.0_f64, f64::max) / sum.max(1e-300);
+
+        let hill = if log_weights.len() >= 10 {
+            let mut sorted = log_weights.to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            let k = (sorted.len() / 5).max(2);
+            let threshold = sorted[k];
+            let mean_excess: f64 =
+                sorted[..k].iter().map(|lw| lw - threshold).sum::<f64>() / k as f64;
+            if mean_excess > 0.0 {
+                Some(1.0 / mean_excess)
+            } else {
+                // All top weights equal: effectively bounded tail.
+                Some(f64::INFINITY)
+            }
+        } else {
+            None
+        };
+
+        WeightDiagnostics {
+            count: log_weights.len(),
+            effective_sample_size: ess,
+            max_weight_share: max_share,
+            hill_tail_index: hill,
+        }
+    }
+
+    /// A conservative health verdict: `true` when the weights show no
+    /// infinite-variance symptoms (tail index ≥ 2 when estimable, no
+    /// single weight above 50% of the mass).
+    pub fn looks_healthy(&self) -> bool {
+        let tail_ok = self.hill_tail_index.map(|a| a >= 2.0).unwrap_or(true);
+        tail_ok && self.max_weight_share < 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_are_healthy() {
+        let lw = vec![0.0; 100];
+        let d = WeightDiagnostics::from_log_weights(&lw);
+        assert_eq!(d.count, 100);
+        assert!((d.effective_sample_size - 100.0).abs() < 1e-9);
+        assert!((d.max_weight_share - 0.01).abs() < 1e-9);
+        assert!(d.looks_healthy());
+    }
+
+    #[test]
+    fn single_dominant_weight_is_flagged() {
+        let mut lw = vec![0.0; 50];
+        lw[0] = 15.0; // one weight e^15 times the rest
+        let d = WeightDiagnostics::from_log_weights(&lw);
+        assert!(d.max_weight_share > 0.99);
+        assert!(d.effective_sample_size < 1.5);
+        assert!(!d.looks_healthy());
+    }
+
+    #[test]
+    fn heavy_tail_has_small_hill_index() {
+        // log-weights ~ Exp(1/alpha) ⇒ weights Pareto with index alpha.
+        let alpha = 0.8; // infinite variance
+        let lw: Vec<f64> = (1..=500)
+            .map(|k| {
+                let u = k as f64 / 501.0;
+                -(1.0 - u).ln() / alpha
+            })
+            .collect();
+        let d = WeightDiagnostics::from_log_weights(&lw);
+        let hill = d.hill_tail_index.unwrap();
+        assert!((hill - alpha).abs() < 0.25, "hill = {hill}");
+        assert!(!d.looks_healthy());
+    }
+
+    #[test]
+    fn light_tail_has_large_hill_index() {
+        let alpha = 5.0; // comfortably finite variance
+        let lw: Vec<f64> = (1..=500)
+            .map(|k| {
+                let u = k as f64 / 501.0;
+                -(1.0 - u).ln() / alpha
+            })
+            .collect();
+        let d = WeightDiagnostics::from_log_weights(&lw);
+        assert!(d.hill_tail_index.unwrap() > 3.0);
+    }
+
+    #[test]
+    fn tiny_samples_skip_hill() {
+        let d = WeightDiagnostics::from_log_weights(&[0.0, 1.0, 2.0]);
+        assert!(d.hill_tail_index.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = WeightDiagnostics::from_log_weights(&[]);
+    }
+}

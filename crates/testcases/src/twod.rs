@@ -1,0 +1,202 @@
+//! 2-D visualization cases for the qualitative study (Figure 2 of the
+//! paper).
+//!
+//! Figure 2(b) is exactly [`Leaf`](crate::Leaf); the paper does not give
+//! closed forms for panels (c)–(e), so this module provides three shapes
+//! in the same spirit — failure sets of different topology placed at the
+//! tail of `p`: a thin ring, four petals, and a curved banana band.
+
+use nofis_prob::LimitState;
+
+/// A thin annulus of radius `R` and half-thickness `t` centered at the
+/// origin: `g = | ‖x‖ − R | − t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ring {
+    /// Ring radius.
+    pub radius: f64,
+    /// Half-thickness of the annulus.
+    pub half_thickness: f64,
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Ring {
+            radius: 4.0,
+            half_thickness: 0.15,
+        }
+    }
+}
+
+impl LimitState for Ring {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let r = x[0].hypot(x[1]);
+        (r - self.radius).abs() - self.half_thickness
+    }
+
+    fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let r = x[0].hypot(x[1]).max(1e-12);
+        let s = if r >= self.radius { 1.0 } else { -1.0 };
+        (
+            (r - self.radius).abs() - self.half_thickness,
+            vec![s * x[0] / r, s * x[1] / r],
+        )
+    }
+
+    fn name(&self) -> &str {
+        "Ring"
+    }
+}
+
+/// Four disks of radius 1 at `(±c, ±c)` — the four-fold analogue of the
+/// two-leaf case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FourPetal {
+    /// Center coordinate magnitude.
+    pub center: f64,
+}
+
+impl Default for FourPetal {
+    fn default() -> Self {
+        FourPetal { center: 3.8 }
+    }
+}
+
+impl LimitState for FourPetal {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let c = self.center;
+        let mut best = f64::INFINITY;
+        for sx in [-1.0, 1.0] {
+            for sy in [-1.0, 1.0] {
+                let d = (x[0] - sx * c).powi(2) + (x[1] - sy * c).powi(2);
+                best = best.min(d);
+            }
+        }
+        best - 1.0
+    }
+
+    fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let c = self.center;
+        let mut best = f64::INFINITY;
+        let mut grad = vec![0.0; 2];
+        for sx in [-1.0, 1.0] {
+            for sy in [-1.0, 1.0] {
+                let dx = x[0] - sx * c;
+                let dy = x[1] - sy * c;
+                let d = dx * dx + dy * dy;
+                if d < best {
+                    best = d;
+                    grad = vec![2.0 * dx, 2.0 * dy];
+                }
+            }
+        }
+        (best - 1.0, grad)
+    }
+
+    fn name(&self) -> &str {
+        "FourPetal"
+    }
+}
+
+/// A curved band along the parabola `x₂ = b − a x₁²`:
+/// `g = | x₂ + a x₁² − b | − t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Banana {
+    /// Parabola curvature.
+    pub curvature: f64,
+    /// Parabola offset (places the band in the tail).
+    pub offset: f64,
+    /// Half-thickness of the band.
+    pub half_thickness: f64,
+}
+
+impl Default for Banana {
+    fn default() -> Self {
+        Banana {
+            curvature: 0.5,
+            offset: 5.0,
+            half_thickness: 0.15,
+        }
+    }
+}
+
+impl LimitState for Banana {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        (x[1] + self.curvature * x[0] * x[0] - self.offset).abs() - self.half_thickness
+    }
+
+    fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let t = x[1] + self.curvature * x[0] * x[0] - self.offset;
+        let s = if t >= 0.0 { 1.0 } else { -1.0 };
+        (
+            t.abs() - self.half_thickness,
+            vec![s * 2.0 * self.curvature * x[0], s],
+        )
+    }
+
+    fn name(&self) -> &str {
+        "Banana"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nofis_autograd::check::{finite_difference, max_rel_error};
+
+    fn check_grad(ls: &impl LimitState, pts: &[[f64; 2]]) {
+        for x in pts {
+            let (_, grad) = ls.value_grad(x);
+            let fd = finite_difference(|p| ls.value(p), x, 1e-6);
+            assert!(
+                max_rel_error(&grad, &fd) < 1e-5,
+                "{} gradient mismatch at {x:?}",
+                ls.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_membership() {
+        let r = Ring::default();
+        assert!(r.value(&[4.0, 0.0]) < 0.0);
+        assert!(r.value(&[0.0, -4.1]) < 0.0);
+        assert!(r.value(&[0.0, 0.0]) > 0.0);
+        assert!(r.value(&[5.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn four_petal_membership() {
+        let f = FourPetal::default();
+        for p in [[3.8, 3.8], [-3.8, 3.8], [3.8, -3.8], [-3.8, -3.8]] {
+            assert!(f.value(&p) < 0.0);
+        }
+        assert!(f.value(&[0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn banana_membership() {
+        let b = Banana::default();
+        assert!(b.value(&[0.0, 5.0]) < 0.0);
+        assert!(b.value(&[2.0, 3.0]) < 0.0); // 3 + 0.5·4 = 5
+        assert!(b.value(&[0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn gradients() {
+        check_grad(&Ring::default(), &[[3.0, 1.0], [-2.0, -4.0]]);
+        check_grad(&FourPetal::default(), &[[2.0, 3.0], [-1.0, -2.5]]);
+        check_grad(&Banana::default(), &[[1.0, 2.0], [-2.0, 4.0]]);
+    }
+}

@@ -1,0 +1,119 @@
+//! SRAM-cell-style yield analysis with the MNA circuit simulator.
+//!
+//! ```text
+//! cargo run --release --example sram_style_yield
+//! ```
+//!
+//! The paper's motivating application is SRAM yield: each cell must fail
+//! with probability below ~1e-6. This example builds a latch-strength
+//! proxy bench with the workspace's own circuit simulator — a
+//! diode-connected NMOS load line whose trip voltage must stay above a
+//! margin under threshold-voltage variation — and estimates its failure
+//! probability with NOFIS, cross-checked by subset simulation.
+
+use nofis_baselines::{RareEventEstimator, SusEstimator};
+use nofis_circuit::{Circuit, MosParams, Node};
+use nofis_core::{Levels, Nofis, NofisConfig};
+use nofis_prob::{CountingOracle, LimitState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A read-disturb-style margin bench: two cross-coupled-inverter halves
+/// are abstracted as diode-connected pull-downs fighting a resistive
+/// pull-up; the cell "flips" (fails) when the stored-node voltage rises
+/// above a trip margin. Six standard-Gaussian variables perturb the
+/// threshold voltages and widths of the two NMOS devices and the two
+/// pull-up strengths.
+struct SramMargin {
+    trip_voltage: f64,
+}
+
+impl SramMargin {
+    fn node_voltage(&self, x: &[f64]) -> f64 {
+        // Device parameters under variation.
+        let vth1 = 0.5 + 0.06 * x[0];
+        let vth2 = 0.5 + 0.06 * x[1];
+        let w1 = (10e-6 * (1.0 + 0.08 * x[2])).max(1e-7);
+        let w2 = (10e-6 * (1.0 + 0.08 * x[3])).max(1e-7);
+        let r1 = (40_000.0 * (1.0 + 0.10 * x[4])).max(1_000.0);
+        let r2 = (40_000.0 * (1.0 + 0.10 * x[5])).max(1_000.0);
+
+        // Access path: VDD -> pull-up R1 -> storage node with NMOS1 to
+        // ground; the second half loads the node through R2/NMOS2.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node();
+        let sn = ckt.node(); // storage node
+        let half = ckt.node();
+        ckt.voltage_source(vdd, Node::GROUND, 1.2);
+        ckt.resistor(vdd, sn, r1);
+        ckt.mosfet(sn, sn, Node::GROUND, MosParams::nmos(w1, 1e-6, vth1, 120e-6, 0.03));
+        ckt.resistor(sn, half, r2);
+        ckt.mosfet(half, half, Node::GROUND, MosParams::nmos(w2, 1e-6, vth2, 120e-6, 0.03));
+
+        let dc = ckt.dc_solve().expect("latch bench solves");
+        dc.voltage(sn)
+    }
+}
+
+impl LimitState for SramMargin {
+    fn dim(&self) -> usize {
+        6
+    }
+
+    // Fails when the storage node is pulled above the trip voltage.
+    fn value(&self, x: &[f64]) -> f64 {
+        self.trip_voltage - self.node_voltage(x)
+    }
+
+    fn name(&self) -> &str {
+        "sram-margin"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = SramMargin { trip_voltage: 0.84 };
+    println!(
+        "nominal storage-node voltage: {:.3} V (trip at {:.2} V)",
+        bench.node_voltage(&[0.0; 6]),
+        bench.trip_voltage
+    );
+
+    // NOFIS with automatic nested levels (the paper's future-work
+    // threshold selection, implemented as a pilot-quantile schedule).
+    let oracle = CountingOracle::new(&bench);
+    let config = NofisConfig {
+        levels: Levels::AdaptiveQuantile {
+            max_stages: 6,
+            p0: 0.12,
+            pilot: 150,
+        },
+        layers_per_stage: 6,
+        hidden: 24,
+        epochs: 15,
+        batch_size: 250,
+        n_is: 1_000,
+        // The margin g is measured in volts (O(0.2) spread), so the
+        // temperature must be larger than the paper's O(10) defaults —
+        // τ only has meaning relative to the scale of g.
+        tau: 80.0,
+        minibatch: 4096,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let (trained, result) = Nofis::new(config)?.run(&oracle, &mut rng);
+    println!("\nNOFIS estimate : {:.3e}  ({} calls)", result.estimate, oracle.calls());
+    println!("learned levels : {:?}", trained.levels());
+
+    // Cross-check with subset simulation.
+    let oracle2 = CountingOracle::new(&bench);
+    let sus = SusEstimator::new(3_000, 0.1, 8);
+    let mut rng2 = StdRng::seed_from_u64(8);
+    let p_sus = sus.estimate(&oracle2, &mut rng2);
+    println!("SUS cross-check: {:.3e}  ({} calls)", p_sus, oracle2.calls());
+
+    if result.estimate > 0.0 && p_sus > 0.0 {
+        let ratio = result.estimate / p_sus;
+        println!("agreement      : NOFIS/SUS = {ratio:.2}");
+    }
+    Ok(())
+}

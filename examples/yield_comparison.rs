@@ -1,0 +1,79 @@
+//! Compare all seven estimators (the paper's Table 1 columns) on one
+//! circuit test case.
+//!
+//! ```text
+//! cargo run --release --example yield_comparison [-- <case-name>]
+//! ```
+//!
+//! Defaults to the Opamp case; pass e.g. `rosen`, `oscillator`, or
+//! `charge` to pick another registered case.
+
+use nofis_baselines::{
+    AdaptIsEstimator, McEstimator, RareEventEstimator, SirEstimator, SssEstimator, SucEstimator,
+    SusEstimator,
+};
+use nofis_bench::NofisEstimator;
+use nofis_core::{Levels, NofisConfig};
+use nofis_prob::{log_error, CountingOracle};
+use nofis_testcases::registry::all_cases;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "opamp".to_string())
+        .to_lowercase();
+    let entry = all_cases()
+        .into_iter()
+        .find(|c| c.name.to_lowercase().contains(&wanted))
+        .expect("unknown case name");
+    println!(
+        "case #{} {} (D = {}, golden Pr = {:.2e})\n",
+        entry.id, entry.name, entry.dim, entry.golden_pr
+    );
+
+    let nofis_config = NofisConfig {
+        levels: Levels::AdaptiveQuantile {
+            max_stages: 5,
+            p0: 0.12,
+            pilot: 150,
+        },
+        layers_per_stage: 8,
+        hidden: 24,
+        epochs: 15,
+        batch_size: 300,
+        n_is: 500,
+        ..Default::default()
+    };
+
+    let estimators: Vec<Box<dyn RareEventEstimator>> = vec![
+        Box::new(McEstimator::new(50_000)),
+        Box::new(SirEstimator::new(20_000, 1_000_000)),
+        Box::new(SucEstimator::new(5_000, 0.1, 7)),
+        Box::new(SusEstimator::new(6_000, 0.1, 7)),
+        Box::new(SssEstimator::new(30_000)),
+        Box::new(AdaptIsEstimator::new(5_000, 5, 5_000)),
+        Box::new(NofisEstimator::new(nofis_config)),
+    ];
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "method", "estimate", "calls", "log error"
+    );
+    for est in estimators {
+        let ls = (entry.make)();
+        let oracle = CountingOracle::new(&ls);
+        let mut rng = StdRng::seed_from_u64(17);
+        let t0 = std::time::Instant::now();
+        let p = est.estimate(&oracle, &mut rng);
+        println!(
+            "{:<10} {:>12.3e} {:>12} {:>10.3}   ({:.1?})",
+            est.method_name(),
+            p,
+            oracle.calls(),
+            log_error(p, entry.golden_pr),
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Failure-injection tests: the library must degrade loudly and
+//! predictably when fed pathological limit states or broken inputs.
+
+use nofis_baselines::{
+    AdaptIsEstimator, McEstimator, RareEventEstimator, SssEstimator, SusEstimator,
+};
+use nofis_core::{Levels, Nofis, NofisConfig};
+use nofis_prob::{CountingOracle, LimitState, WeightDiagnostics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A limit state that always fails: P = 1.
+struct AlwaysFails;
+impl LimitState for AlwaysFails {
+    fn dim(&self) -> usize {
+        3
+    }
+    fn value(&self, _: &[f64]) -> f64 {
+        -1.0
+    }
+    fn value_grad(&self, _: &[f64]) -> (f64, Vec<f64>) {
+        (-1.0, vec![0.0; 3])
+    }
+}
+
+/// A limit state that never fails: P = 0.
+struct NeverFails;
+impl LimitState for NeverFails {
+    fn dim(&self) -> usize {
+        3
+    }
+    fn value(&self, _: &[f64]) -> f64 {
+        1.0
+    }
+    fn value_grad(&self, _: &[f64]) -> (f64, Vec<f64>) {
+        (1.0, vec![0.0; 3])
+    }
+}
+
+/// Discontinuous, non-smooth limit state (no useful gradients anywhere).
+struct Staircase;
+impl LimitState for Staircase {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        3.0 - x[0].floor()
+    }
+}
+
+fn tiny_config() -> NofisConfig {
+    NofisConfig {
+        levels: Levels::AdaptiveQuantile {
+            max_stages: 3,
+            p0: 0.2,
+            pilot: 50,
+        },
+        layers_per_stage: 2,
+        hidden: 8,
+        epochs: 4,
+        batch_size: 40,
+        n_is: 200,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn certain_event_estimates_one() {
+    let nofis = Nofis::new(tiny_config()).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(0);
+    let (_, result) = nofis.run(&AlwaysFails, &mut rng);
+    assert!((result.estimate - 1.0).abs() < 0.15, "p = {}", result.estimate);
+}
+
+#[test]
+fn impossible_event_estimates_zero_without_panic() {
+    let nofis = Nofis::new(tiny_config()).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(1);
+    let (_, result) = nofis.run(&NeverFails, &mut rng);
+    assert_eq!(result.estimate, 0.0);
+    assert_eq!(result.hits, 0);
+}
+
+#[test]
+fn non_smooth_limit_state_survives_training() {
+    // The default finite-difference gradient of a staircase is zero almost
+    // everywhere; NOFIS must still produce a finite (if poor) estimate.
+    let nofis = Nofis::new(tiny_config()).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(2);
+    let (_, result) = nofis.run(&Staircase, &mut rng);
+    assert!(result.estimate.is_finite());
+    assert!(result.estimate >= 0.0);
+}
+
+#[test]
+fn baselines_handle_trivial_events() {
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!((McEstimator::new(500).estimate(&AlwaysFails, &mut rng) - 1.0).abs() < 1e-12);
+    assert_eq!(McEstimator::new(500).estimate(&NeverFails, &mut rng), 0.0);
+    let sus = SusEstimator::new(200, 0.1, 3);
+    assert!((sus.estimate(&AlwaysFails, &mut rng) - 1.0).abs() < 0.05);
+    let sss = SssEstimator::new(600);
+    let p = sss.estimate(&AlwaysFails, &mut rng);
+    assert!(p > 0.3, "SSS on certain event: {p}");
+    let ais = AdaptIsEstimator::new(100, 2, 200);
+    assert!((ais.estimate(&AlwaysFails, &mut rng) - 1.0).abs() < 0.1);
+}
+
+#[test]
+fn oracle_counts_are_exact_under_failure_paths() {
+    // Even when an estimator bails out early (impossible event), every
+    // consumed sample must be counted.
+    let oracle = CountingOracle::new(&NeverFails);
+    let mut rng = StdRng::seed_from_u64(4);
+    let _ = McEstimator::new(1234).estimate(&oracle, &mut rng);
+    assert_eq!(oracle.calls(), 1234);
+}
+
+#[test]
+fn weight_diagnostics_flag_degenerate_is() {
+    // Proposal far off target: one dominant weight among tiny ones.
+    let mut lw = vec![-30.0; 40];
+    lw[7] = 0.0;
+    let d = WeightDiagnostics::from_log_weights(&lw);
+    assert!(!d.looks_healthy());
+    assert!(d.effective_sample_size < 2.0);
+}
+
+#[test]
+fn nofis_rejects_one_dimensional_problems() {
+    struct OneD;
+    impl LimitState for OneD {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            3.0 - x[0]
+        }
+    }
+    let nofis = Nofis::new(tiny_config()).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(5);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        nofis.train(&OneD, &mut rng)
+    }));
+    assert!(result.is_err(), "dim=1 must be rejected loudly");
+}
