@@ -54,7 +54,10 @@ enum Op {
     /// Externally differentiated row-wise function `R^D -> R`; `grads` holds
     /// the `[N,D]` Jacobian rows computed by the caller during the forward
     /// pass.
-    External { input: Var, grads: Tensor },
+    External {
+        input: Var,
+        grads: Tensor,
+    },
 }
 
 #[derive(Debug)]

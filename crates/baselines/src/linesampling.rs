@@ -43,9 +43,8 @@ impl LineSamplingEstimator {
         alpha: &[f64],
         max_iters: usize,
     ) -> Option<f64> {
-        let point = |c: f64| -> Vec<f64> {
-            z.iter().zip(alpha).map(|(&zi, &ai)| zi + c * ai).collect()
-        };
+        let point =
+            |c: f64| -> Vec<f64> { z.iter().zip(alpha).map(|(&zi, &ai)| zi + c * ai).collect() };
         // Coarse scan out to 8 sigma.
         let mut lo = 0.0;
         let mut g_lo = limit_state.value(&point(0.0));
@@ -176,10 +175,7 @@ mod tests {
                 4.0 + 0.05 * (x[1] * x[1] + x[2] * x[2]) - x[0]
             }
             fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
-                (
-                    self.value(x),
-                    vec![-1.0, 0.1 * x[1], 0.1 * x[2]],
-                )
+                (self.value(x), vec![-1.0, 0.1 * x[1], 0.1 * x[2]])
             }
         }
         // Golden: P = E[Φ̄(4 + 0.05·χ²₂)] ≈ Φ̄(4)·E[e^{-0.2 χ²₂}]

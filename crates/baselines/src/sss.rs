@@ -47,11 +47,11 @@ impl SssEstimator {
     /// or any scale is `<= 1`.
     pub fn with_scales(scales: Vec<f64>, samples_per_scale: usize) -> Self {
         assert!(scales.len() >= 3, "SSS needs at least three scales");
+        assert!(scales.iter().all(|&s| s > 1.0), "SSS scales must exceed 1");
         assert!(
-            scales.iter().all(|&s| s > 1.0),
-            "SSS scales must exceed 1"
+            samples_per_scale >= 10,
+            "need at least 10 samples per scale"
         );
-        assert!(samples_per_scale >= 10, "need at least 10 samples per scale");
         SssEstimator {
             scales,
             samples_per_scale,

@@ -102,7 +102,7 @@ impl RareEventEstimator for SusEstimator {
             let hits = gs.iter().filter(|&&g| g <= 0.0).count();
             if hits as f64 >= self.p0 * n as f64 {
                 // Final level: direct estimate of the remaining factor.
-                return (log_prob + (hits.max(0) as f64 / n as f64).ln()).exp();
+                return (log_prob + (hits as f64 / n as f64).ln()).exp();
             }
             // Intermediate threshold at the p0-quantile.
             let b = quantile(&gs, self.p0);

@@ -10,7 +10,9 @@ fn bench_case_evaluations(c: &mut Criterion) {
     let mut group = c.benchmark_group("limit_state_value");
     for entry in all_cases() {
         let ls = (entry.make)();
-        let x: Vec<f64> = (0..entry.dim).map(|i| 0.3 * (i as f64 * 0.7).sin()).collect();
+        let x: Vec<f64> = (0..entry.dim)
+            .map(|i| 0.3 * (i as f64 * 0.7).sin())
+            .collect();
         group.bench_function(entry.name, |b| b.iter(|| ls.value(&x)));
     }
     group.finish();
@@ -19,7 +21,9 @@ fn bench_case_evaluations(c: &mut Criterion) {
     group.sample_size(20);
     for entry in all_cases() {
         let ls = (entry.make)();
-        let x: Vec<f64> = (0..entry.dim).map(|i| 0.3 * (i as f64 * 0.7).sin()).collect();
+        let x: Vec<f64> = (0..entry.dim)
+            .map(|i| 0.3 * (i as f64 * 0.7).sin())
+            .collect();
         group.bench_function(entry.name, |b| b.iter(|| ls.value_grad(&x)));
     }
     group.finish();

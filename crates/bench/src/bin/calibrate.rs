@@ -164,7 +164,9 @@ fn main() {
     let selected: Vec<_> = if all {
         entries.iter().collect()
     } else {
-        let name = case.expect("--case <name> or --all required").to_lowercase();
+        let name = case
+            .expect("--case <name> or --all required")
+            .to_lowercase();
         entries
             .iter()
             .filter(|e| e.name.to_lowercase().contains(&name))
@@ -173,7 +175,11 @@ fn main() {
     assert!(!selected.is_empty(), "no case matched");
     for entry in selected {
         let ls = (entry.make)();
-        let target = if target > 0.0 { target } else { entry.golden_pr };
+        let target = if target > 0.0 {
+            target
+        } else {
+            entry.golden_pr
+        };
         if sus {
             calibrate_sus(&ls, samples);
         } else {

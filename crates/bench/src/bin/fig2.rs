@@ -51,7 +51,7 @@ fn panel(
     };
     let nofis = Nofis::new(config).expect("valid fig2 config");
     let mut rng = StdRng::seed_from_u64(seed);
-    let trained = nofis.train(&ls, &mut rng);
+    let trained = nofis.train(&ls, &mut rng).expect("fig2 training failed");
 
     let extent = 6.0;
     let learned = Heatmap::from_fn(res, extent, |x, y| trained.log_density(&[x, y]).exp());
@@ -88,7 +88,12 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--res" => res = args.next().and_then(|v| v.parse().ok()).expect("--res N"),
-            "--epochs" => epochs = args.next().and_then(|v| v.parse().ok()).expect("--epochs N"),
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs N")
+            }
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             other => panic!("unknown argument {other}"),
         }
@@ -96,7 +101,14 @@ fn main() {
 
     // Panel (b): the paper's Leaf case with its published level ladder.
     let panels = vec![
-        panel("Leaf", &Leaf, vec![26.0, 15.0, 8.0, 3.0, 0.0], res, epochs, seed),
+        panel(
+            "Leaf",
+            &Leaf,
+            vec![26.0, 15.0, 8.0, 3.0, 0.0],
+            res,
+            epochs,
+            seed,
+        ),
         panel(
             "FourPetal",
             &FourPetal::default(),

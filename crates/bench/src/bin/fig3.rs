@@ -43,7 +43,12 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--res" => res = args.next().and_then(|v| v.parse().ok()).expect("--res N"),
-            "--epochs" => epochs = args.next().and_then(|v| v.parse().ok()).expect("--epochs N"),
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs N")
+            }
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             other => panic!("unknown argument {other}"),
         }
@@ -64,7 +69,7 @@ fn main() {
     };
     let nofis = Nofis::new(config).expect("valid fig3 config");
     let mut rng = StdRng::seed_from_u64(seed);
-    let trained = nofis.train(&Leaf, &mut rng);
+    let trained = nofis.train(&Leaf, &mut rng).expect("fig3 training failed");
 
     let mut stages = Vec::new();
     for stage in 1..=trained.stages() {

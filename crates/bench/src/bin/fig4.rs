@@ -28,7 +28,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--repeats" => repeats = args.next().and_then(|v| v.parse().ok()).expect("--repeats N"),
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats N")
+            }
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             other => panic!("unknown argument {other}"),
         }
@@ -49,7 +54,7 @@ fn main() {
     };
     let nofis = Nofis::new(config).expect("valid fig4 config");
     let mut rng = StdRng::seed_from_u64(seed);
-    let trained = nofis.train(&Leaf, &mut rng);
+    let trained = nofis.train(&Leaf, &mut rng).expect("fig4 training failed");
 
     let learned = Heatmap::from_fn(97, 6.0, |x, y| trained.log_density(&[x, y]).exp());
     println!("learned q_MK under the 32K budget:");
@@ -63,7 +68,9 @@ fn main() {
         let mut stats = RunningStats::new();
         for r in 0..repeats {
             let mut is_rng = StdRng::seed_from_u64(seed + 100 + r as u64);
-            let result = trained.estimate(&Leaf, n_is, &mut is_rng);
+            let result = trained
+                .estimate(&Leaf, n_is, &mut is_rng)
+                .expect("fig4 estimate failed");
             stats.push(log_error(result.estimate, Leaf::GOLDEN_PR));
         }
         println!(

@@ -75,7 +75,11 @@ fn main() {
             case.entry.id, case.entry.name, case.entry.dim
         );
         let res = if nofis_only {
-            nofis_bench::runner::run_case_nofis_only(case, runs, seed + case.entry.id as u64 * 1_000)
+            nofis_bench::runner::run_case_nofis_only(
+                case,
+                runs,
+                seed + case.entry.id as u64 * 1_000,
+            )
         } else {
             run_case(case, runs, seed + case.entry.id as u64 * 1_000, true)
         };

@@ -32,6 +32,7 @@ fn nofis_fixed(
         learning_rate: 5e-3,
         minibatch: 4096,
         freeze: true,
+        ..Default::default()
     }
 }
 
@@ -83,6 +84,7 @@ fn nofis_config(
         learning_rate: 5e-3,
         minibatch: 4096,
         freeze: true,
+        ..Default::default()
     }
 }
 
@@ -144,7 +146,15 @@ pub fn table1_configs() -> Vec<CaseConfig> {
         // #5 Powell (paper 7.0K).
         CaseConfig {
             entry: next(),
-            nofis: nofis_fixed(&[17.7, 14.1, 11.5, 9.5, 6.0, 3.2, 1.5, 0.0], 9, 97, 600, 32, 1.0, 6),
+            nofis: nofis_fixed(
+                &[17.7, 14.1, 11.5, 9.5, 6.0, 3.2, 1.5, 0.0],
+                9,
+                97,
+                600,
+                32,
+                1.0,
+                6,
+            ),
             mc_samples: 10_000,
             sir_train: 10_000,
             sus_n: 1_800,

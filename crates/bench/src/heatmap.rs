@@ -40,7 +40,10 @@ impl Heatmap {
 
     /// Largest value in the map.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Total mass (sum × cell area) — useful to sanity check normalized

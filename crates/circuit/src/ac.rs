@@ -151,12 +151,11 @@ impl Circuit {
             });
         }
         let (y, b) = self.assemble_ac(omega);
-        let lu = CluDecomposition::new(&y).map_err(|_| CircuitError::SingularSystem {
-            analysis: "AC",
-        })?;
-        let x = lu.solve(&b).map_err(|_| CircuitError::SingularSystem {
-            analysis: "AC",
-        })?;
+        let lu = CluDecomposition::new(&y)
+            .map_err(|_| CircuitError::SingularSystem { analysis: "AC" })?;
+        let x = lu
+            .solve(&b)
+            .map_err(|_| CircuitError::SingularSystem { analysis: "AC" })?;
         Ok(AcSolution {
             node_voltages: x[..self.node_count()].to_vec(),
         })
@@ -185,12 +184,11 @@ impl Circuit {
         }
         let dim = self.mna_dim();
         let (y, b) = self.assemble_ac(omega);
-        let lu = CluDecomposition::new(&y).map_err(|_| CircuitError::SingularSystem {
-            analysis: "AC",
-        })?;
-        let x = lu.solve(&b).map_err(|_| CircuitError::SingularSystem {
-            analysis: "AC",
-        })?;
+        let lu = CluDecomposition::new(&y)
+            .map_err(|_| CircuitError::SingularSystem { analysis: "AC" })?;
+        let x = lu
+            .solve(&b)
+            .map_err(|_| CircuitError::SingularSystem { analysis: "AC" })?;
         let v_out = x[out.0 - 1];
         let mag = v_out.abs();
         if mag == 0.0 {
@@ -211,9 +209,13 @@ impl Circuit {
         let mut e = vec![Complex64::ZERO; dim];
         e[out.0 - 1] = Complex64::ONE;
         let lam = CluDecomposition::new(&yt)
-            .map_err(|_| CircuitError::SingularSystem { analysis: "adjoint" })?
+            .map_err(|_| CircuitError::SingularSystem {
+                analysis: "adjoint",
+            })?
             .solve(&e)
-            .map_err(|_| CircuitError::SingularSystem { analysis: "adjoint" })?;
+            .map_err(|_| CircuitError::SingularSystem {
+                analysis: "adjoint",
+            })?;
 
         // d v_out / dp = -λᵀ (dY/dp) x + λᵀ (db/dp); then
         // d|v|/dp = Re( conj(v_out) / |v_out| · dv_out/dp ).
@@ -224,12 +226,8 @@ impl Circuit {
                 Some(node.0 - 1)
             }
         };
-        let xv = |node: Node| -> Complex64 {
-            idx(node).map_or(Complex64::ZERO, |i| x[i])
-        };
-        let lv = |node: Node| -> Complex64 {
-            idx(node).map_or(Complex64::ZERO, |i| lam[i])
-        };
+        let xv = |node: Node| -> Complex64 { idx(node).map_or(Complex64::ZERO, |i| x[i]) };
+        let lv = |node: Node| -> Complex64 { idx(node).map_or(Complex64::ZERO, |i| lam[i]) };
 
         let mut gradients = Vec::with_capacity(wrt.len());
         let mut vsrc_index_of = vec![usize::MAX; self.elements().len()];

@@ -26,6 +26,7 @@ struct Mirror {
 impl Mirror {
     /// Output current and its partial derivatives
     /// `(i_out, d/d_iin, d/dxw1, d/dxv1, d/dxw2, d/dxv2)`.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate(
         &self,
         i_in: f64,
@@ -47,8 +48,16 @@ impl Mirror {
         let i_out = 0.5 * b2 * vov2 * vov2;
 
         // Partials.
-        let db1 = if 1.0 + sw * xw1 > 0.05 { self.beta * sw } else { 0.0 };
-        let db2 = if 1.0 + sw * xw2 > 0.05 { self.beta * sw } else { 0.0 };
+        let db1 = if 1.0 + sw * xw1 > 0.05 {
+            self.beta * sw
+        } else {
+            0.0
+        };
+        let db2 = if 1.0 + sw * xw2 > 0.05 {
+            self.beta * sw
+        } else {
+            0.0
+        };
         let dvov1_diin = if i_in > 0.0 { 1.0 / (b1 * vov1) } else { 0.0 };
         let dvov1_db1 = -0.5 * vov1 / b1;
         let active = vov2 > 0.0;
@@ -137,7 +146,9 @@ impl ChargePumpBench {
         let mut grad = vec![0.0; Self::DIM];
 
         // UP path: mirror1 (x0..x3) feeding mirror2 (x4..x7).
-        let (i_m1, d1) = self.up1.evaluate(self.i_ref, sw, svt, x[0], x[1], x[2], x[3]);
+        let (i_m1, d1) = self
+            .up1
+            .evaluate(self.i_ref, sw, svt, x[0], x[1], x[2], x[3]);
         let (i_up, d2) = self.up2.evaluate(i_m1, sw, svt, x[4], x[5], x[6], x[7]);
         // d i_up / d x0..3 = d2.d_iin * d1.d_x*
         for (k, g) in d1[1..].iter().enumerate() {
@@ -148,8 +159,12 @@ impl ChargePumpBench {
         }
 
         // DOWN path: mirror1 (x8..x11) feeding mirror2 (x12..x15).
-        let (i_m1d, e1) = self.dn1.evaluate(self.i_ref, sw, svt, x[8], x[9], x[10], x[11]);
-        let (i_dn, e2) = self.dn2.evaluate(i_m1d, sw, svt, x[12], x[13], x[14], x[15]);
+        let (i_m1d, e1) = self
+            .dn1
+            .evaluate(self.i_ref, sw, svt, x[8], x[9], x[10], x[11]);
+        let (i_dn, e2) = self
+            .dn2
+            .evaluate(i_m1d, sw, svt, x[12], x[13], x[14], x[15]);
         for (k, g) in e1[1..].iter().enumerate() {
             grad[8 + k] -= e2[0] * g;
         }

@@ -68,26 +68,23 @@ impl Circuit {
 
         for it in 0..iters {
             let (a, b) = self.assemble_dc(&v);
-            let lu = LuDecomposition::new(&a).map_err(|_| CircuitError::SingularSystem {
-                analysis: "DC",
-            })?;
-            let v_new = lu.solve(&b).map_err(|_| CircuitError::SingularSystem {
-                analysis: "DC",
-            })?;
+            let lu = LuDecomposition::new(&a)
+                .map_err(|_| CircuitError::SingularSystem { analysis: "DC" })?;
+            let v_new = lu
+                .solve(&b)
+                .map_err(|_| CircuitError::SingularSystem { analysis: "DC" })?;
             let mut delta: f64 = 0.0;
             for i in 0..dim {
                 let step = (v_new[i] - v[i]).clamp(-MAX_STEP, MAX_STEP);
                 delta = delta.max(step.abs());
                 v[i] += step;
             }
-            if !has_mos || delta < NEWTON_TOL {
-                if has_mos || it == 0 {
-                    // Linear circuits converge in one solve; take it exactly.
-                    if !has_mos {
-                        v = v_new;
-                    }
-                    return Ok(self.split_solution(v));
+            if (!has_mos || delta < NEWTON_TOL) && (has_mos || it == 0) {
+                // Linear circuits converge in one solve; take it exactly.
+                if !has_mos {
+                    v = v_new;
                 }
+                return Ok(self.split_solution(v));
             }
         }
         let (a, b) = self.assemble_dc(&v);

@@ -105,7 +105,11 @@ mod tests {
         ckt.resistor(vin, mid, 1_000.0);
         ckt.diode(Node::GROUND, mid, DiodeParams::default()); // reverse
         let dc = ckt.dc_solve().unwrap();
-        assert!((dc.voltage(mid) - 5.0).abs() < 1e-3, "v = {}", dc.voltage(mid));
+        assert!(
+            (dc.voltage(mid) - 5.0).abs() < 1e-3,
+            "v = {}",
+            dc.voltage(mid)
+        );
     }
 
     #[test]

@@ -33,9 +33,9 @@ mod opamp;
 mod transient;
 
 pub use ac::{AcSensitivity, AcSolution};
-pub use diode::DiodeParams;
 pub use chargepump::ChargePumpBench;
 pub use dc::DcSolution;
+pub use diode::DiodeParams;
 pub use mosfet::{MosOperatingPoint, MosParams, MosType, Region};
 pub use netlist::{Circuit, CircuitError, Element, ElementId, Node};
 pub use opamp::{OpampBench, OpampDesign};

@@ -170,7 +170,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not positive and finite.
     pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) -> ElementId {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         self.push(Element::Resistor { a, b, ohms })
     }
 
@@ -180,7 +183,10 @@ impl Circuit {
     ///
     /// Panics if `farads` is not positive and finite.
     pub fn capacitor(&mut self, a: Node, b: Node, farads: f64) -> ElementId {
-        assert!(farads.is_finite() && farads > 0.0, "capacitance must be positive");
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be positive"
+        );
         self.push(Element::Capacitor { a, b, farads })
     }
 

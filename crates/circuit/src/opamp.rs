@@ -305,7 +305,9 @@ mod tests {
     #[test]
     fn extreme_variation_stays_finite() {
         let bench = OpampBench::new();
-        let (v, grad) = bench.gain_db_grad(&[-12.0, 12.0, -12.0, 12.0, 12.0]).unwrap();
+        let (v, grad) = bench
+            .gain_db_grad(&[-12.0, 12.0, -12.0, 12.0, 12.0])
+            .unwrap();
         assert!(v.is_finite());
         assert!(grad.iter().all(|g| g.is_finite()));
     }

@@ -73,7 +73,7 @@ impl Circuit {
     /// * [`CircuitError::SingularSystem`] / [`CircuitError::NoConvergence`]
     ///   from the per-step solves.
     pub fn transient(&self, t_end: f64, steps: usize) -> Result<TransientSolution, CircuitError> {
-        if steps == 0 || !(t_end > 0.0) {
+        if steps == 0 || t_end <= 0.0 || t_end.is_nan() {
             return Err(CircuitError::InvalidCircuit {
                 context: "transient needs t_end > 0 and at least one step".into(),
             });
@@ -142,11 +142,14 @@ impl Circuit {
                 Some(node.0 - 1)
             }
         };
-        let prev = |node: Node| -> f64 {
-            idx(node).map_or(0.0, |i| v_prev[i])
-        };
+        let prev = |node: Node| -> f64 { idx(node).map_or(0.0, |i| v_prev[i]) };
         for e in self.elements() {
-            if let Element::Capacitor { a: n1, b: n2, farads } = *e {
+            if let Element::Capacitor {
+                a: n1,
+                b: n2,
+                farads,
+            } = *e
+            {
                 let g = farads / dt;
                 let hist = g * (prev(n1) - prev(n2));
                 if let Some(i) = idx(n1) {
@@ -189,7 +192,11 @@ mod tests {
         let tr = ckt.transient(5e-3, 50).unwrap();
         let w = tr.waveform(n1);
         assert!((w[0] - 1.0).abs() < 1e-9);
-        assert!((w[49] - 1.0).abs() < 1e-6, "steady state drifted: {}", w[49]);
+        assert!(
+            (w[49] - 1.0).abs() < 1e-6,
+            "steady state drifted: {}",
+            w[49]
+        );
     }
 
     #[test]
@@ -229,7 +236,12 @@ mod tests {
         ckt.voltage_source(vdd, Node::GROUND, 2.0);
         ckt.resistor(vdd, d, 20_000.0);
         ckt.capacitor(d, Node::GROUND, 1e-9);
-        ckt.mosfet(d, d, Node::GROUND, crate::MosParams::nmos(20e-6, 1e-6, 0.5, 100e-6, 0.01));
+        ckt.mosfet(
+            d,
+            d,
+            Node::GROUND,
+            crate::MosParams::nmos(20e-6, 1e-6, 0.5, 100e-6, 0.01),
+        );
         let tr = ckt.transient(1e-6, 40).unwrap();
         let w = tr.waveform(d);
         // Stays at the DC operating point and remains finite.

@@ -69,6 +69,24 @@ pub struct NofisConfig {
     /// Freeze earlier stage blocks while training stage `m` (the paper's
     /// default policy; `false` reproduces the "NoFreeze" ablation).
     pub freeze: bool,
+    /// Optional hard cap on total simulator calls for
+    /// [`Nofis::run`](crate::Nofis::run) /
+    /// [`Nofis::train`](crate::Nofis::train). When the cap is hit, the
+    /// pipeline truncates gracefully where possible (final-stage epochs,
+    /// the estimation ladder) and otherwise returns
+    /// [`NofisError::BudgetExhausted`](crate::NofisError::BudgetExhausted)
+    /// — it never overruns. `None` (the default) leaves the schedule's own
+    /// [`NofisConfig::training_budget`] as the only cost.
+    pub max_calls: Option<u64>,
+    /// Global-norm gradient clipping threshold passed to the optimizer
+    /// (`None` disables clipping). The default `Some(100.0)` is far above
+    /// healthy flow-training gradients and only engages on the exploding
+    /// log-det gradients that precede divergence.
+    pub max_grad_norm: Option<f64>,
+    /// How many times a stage may roll back to its best checkpoint (with a
+    /// halved learning rate) after a divergent epoch before training fails
+    /// with [`NofisError::TrainingDiverged`](crate::NofisError::TrainingDiverged).
+    pub stage_retries: usize,
 }
 
 impl Default for NofisConfig {
@@ -89,6 +107,9 @@ impl Default for NofisConfig {
             learning_rate: 5e-3,
             minibatch: 64,
             freeze: true,
+            max_calls: None,
+            max_grad_norm: Some(100.0),
+            stage_retries: 2,
         }
     }
 }
@@ -121,7 +142,9 @@ impl NofisConfig {
                 pilot,
             } => {
                 if *max_stages == 0 {
-                    return Err(ConfigError::new("adaptive schedule needs at least one stage"));
+                    return Err(ConfigError::new(
+                        "adaptive schedule needs at least one stage",
+                    ));
                 }
                 if !(*p0 > 0.0 && *p0 < 1.0) {
                     return Err(ConfigError::new("p0 must be in (0, 1)"));
@@ -137,7 +160,7 @@ impl NofisConfig {
         if self.hidden == 0 {
             return Err(ConfigError::new("hidden width must be positive"));
         }
-        if !(self.s_max > 0.0) {
+        if self.s_max <= 0.0 || self.s_max.is_nan() {
             return Err(ConfigError::new("s_max must be positive"));
         }
         if self.epochs == 0 {
@@ -149,14 +172,26 @@ impl NofisConfig {
         if self.n_is == 0 {
             return Err(ConfigError::new("n_is must be positive"));
         }
-        if !(self.tau > 0.0) {
+        if self.tau <= 0.0 || self.tau.is_nan() {
             return Err(ConfigError::new("tau must be positive"));
         }
         if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
-            return Err(ConfigError::new("learning_rate must be positive and finite"));
+            return Err(ConfigError::new(
+                "learning_rate must be positive and finite",
+            ));
         }
         if self.minibatch == 0 {
             return Err(ConfigError::new("minibatch must be positive"));
+        }
+        if self.max_calls == Some(0) {
+            return Err(ConfigError::new("max_calls must be positive when set"));
+        }
+        if let Some(m) = self.max_grad_norm {
+            if !(m > 0.0 && m.is_finite()) {
+                return Err(ConfigError::new(
+                    "max_grad_norm must be positive and finite when set",
+                ));
+            }
         }
         Ok(())
     }
@@ -223,14 +258,50 @@ mod tests {
     fn numeric_ranges_are_checked() {
         let base = NofisConfig::default();
         for bad in [
-            NofisConfig { tau: 0.0, ..base.clone() },
-            NofisConfig { epochs: 0, ..base.clone() },
-            NofisConfig { batch_size: 0, ..base.clone() },
-            NofisConfig { layers_per_stage: 0, ..base.clone() },
-            NofisConfig { learning_rate: f64::NAN, ..base.clone() },
-            NofisConfig { s_max: -1.0, ..base.clone() },
-            NofisConfig { n_is: 0, ..base.clone() },
-            NofisConfig { hidden: 0, ..base.clone() },
+            NofisConfig {
+                tau: 0.0,
+                ..base.clone()
+            },
+            NofisConfig {
+                epochs: 0,
+                ..base.clone()
+            },
+            NofisConfig {
+                batch_size: 0,
+                ..base.clone()
+            },
+            NofisConfig {
+                layers_per_stage: 0,
+                ..base.clone()
+            },
+            NofisConfig {
+                learning_rate: f64::NAN,
+                ..base.clone()
+            },
+            NofisConfig {
+                s_max: -1.0,
+                ..base.clone()
+            },
+            NofisConfig {
+                n_is: 0,
+                ..base.clone()
+            },
+            NofisConfig {
+                hidden: 0,
+                ..base.clone()
+            },
+            NofisConfig {
+                max_calls: Some(0),
+                ..base.clone()
+            },
+            NofisConfig {
+                max_grad_norm: Some(0.0),
+                ..base.clone()
+            },
+            NofisConfig {
+                max_grad_norm: Some(f64::NAN),
+                ..base.clone()
+            },
         ] {
             assert!(bad.validate().is_err());
         }

@@ -19,14 +19,30 @@
 //! [`Levels::Fixed`] schedule), `SmallTemp` (`tau = 1.0`), and the
 //! temperature sweep.
 //!
+//! # Fault tolerance
+//!
+//! The pipeline is built for unattended production runs: every entry point
+//! returns a typed [`NofisError`] instead of panicking, each training stage
+//! checkpoints at its best loss and rolls back with a halved learning rate
+//! on divergence (recorded per stage in [`StageReport`]), estimation
+//! descends a guarded fallback ladder when the learned proposal is
+//! degenerate (recorded in
+//! [`IsResult::rung`](nofis_prob::IsResult)), and
+//! [`NofisConfig::max_calls`] enforces a hard simulator-call budget that
+//! truncates gracefully rather than overruns.
+//!
 //! See the crate-level example on [`Nofis`] for end-to-end usage.
 
 #![deny(missing_docs)]
 
 mod config;
+mod error;
 mod proposal;
+mod report;
 mod train;
 
 pub use config::{ConfigError, Levels, NofisConfig};
+pub use error::NofisError;
 pub use proposal::FlowProposal;
+pub use report::StageReport;
 pub use train::{Nofis, TrainedNofis};

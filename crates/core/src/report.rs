@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Per-stage training health record.
+///
+/// One report is produced for each stage trained by
+/// [`Nofis::train`](crate::Nofis::train), recording the realized threshold,
+/// how many epochs actually ran, and whether the stage needed
+/// checkpoint-rollback recovery (see
+/// [`NofisConfig::stage_retries`](crate::NofisConfig::stage_retries)). The
+/// full list is available from
+/// [`TrainedNofis::stage_reports`](crate::TrainedNofis::stage_reports) and
+/// is what the bench runner logs per case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// 1-based stage index (`m` in the paper).
+    pub stage: usize,
+    /// The threshold `a_m` this stage trained against.
+    pub level: f64,
+    /// Epochs recorded in the pass that produced the final parameters
+    /// (rolled-back passes are not counted).
+    pub epochs_run: usize,
+    /// Rollback retries consumed by this stage (0 for a healthy stage).
+    pub retries: usize,
+    /// Whether the stage rolled back to its best checkpoint at least once.
+    pub rolled_back: bool,
+    /// Best per-epoch loss observed in the final pass.
+    pub best_loss: f64,
+    /// Loss of the last completed epoch in the final pass.
+    pub final_loss: f64,
+    /// Effective learning rate of the final pass (halved on each retry).
+    pub learning_rate: f64,
+    /// Whether the simulator-call budget truncated this stage's schedule
+    /// (possible only on the final, level-0 stage; earlier exhaustion is an
+    /// error instead).
+    pub truncated: bool,
+}
+
+impl fmt::Display for StageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage {} @ level {:.4}: {} epochs, loss {:.4} (best {:.4}), lr {:.2e}",
+            self.stage,
+            self.level,
+            self.epochs_run,
+            self.final_loss,
+            self.best_loss,
+            self.learning_rate
+        )?;
+        if self.rolled_back {
+            write!(f, ", {} rollback(s)", self.retries)?;
+        }
+        if self.truncated {
+            write!(f, ", truncated by budget")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_recovery_when_present() {
+        let mut r = StageReport {
+            stage: 1,
+            level: 2.0,
+            epochs_run: 10,
+            retries: 0,
+            rolled_back: false,
+            best_loss: 1.5,
+            final_loss: 1.6,
+            learning_rate: 5e-3,
+            truncated: false,
+        };
+        let s = format!("{r}");
+        assert!(s.contains("stage 1") && !s.contains("rollback"));
+        r.retries = 2;
+        r.rolled_back = true;
+        r.truncated = true;
+        let s = format!("{r}");
+        assert!(s.contains("2 rollback(s)") && s.contains("truncated"));
+    }
+}

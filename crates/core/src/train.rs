@@ -1,19 +1,48 @@
-use crate::{ConfigError, FlowProposal, Levels, NofisConfig};
+use crate::{ConfigError, FlowProposal, Levels, NofisConfig, NofisError, StageReport};
 use nofis_autograd::{Graph, ParamStore, Tensor};
 use nofis_flows::RealNvp;
 use nofis_nn::Adam;
 use nofis_prob::{
-    importance_sampling, importance_sampling_detailed, quantile, IsResult, LimitState,
-    StandardGaussian, WeightDiagnostics, LN_2PI,
+    importance_sampling_detailed, monte_carlo, quantile, BudgetedOracle, DefensiveMixture,
+    FallbackRung, IsResult, LimitState, Proposal, StandardGaussian, WeightDiagnostics, LN_2PI,
 };
 use rand::Rng;
+
+/// Epoch-loss magnitude beyond which training is declared divergent (a
+/// healthy tempered-KL loss is `O(D)`, nowhere near this).
+const LOSS_DIVERGENCE_LIMIT: f64 = 1e12;
+
+/// Per-row `|log det|` beyond which a minibatch is declared divergent: the
+/// coupling clamp bounds healthy log-dets to `O(depth · D · s_max)`.
+const LOGDET_DIVERGENCE_LIMIT: f64 = 1e6;
+
+/// Simulator-call budget granted to a standalone
+/// [`TrainedNofis::estimate`] call, as a multiple of `n_is`: one tranche
+/// for each rung of the fallback ladder.
+const ESTIMATE_BUDGET_FACTOR: u64 = 4;
+
+/// Base mixing weight used by the defensive-mixture rung of the fallback
+/// ladder; importance weights on that rung are bounded by `1/α = 2`.
+const DEFENSIVE_ALPHA: f64 = 0.5;
+
+fn budget_error<L: LimitState + ?Sized>(
+    oracle: &BudgetedOracle<'_, L>,
+    context: String,
+) -> NofisError {
+    NofisError::BudgetExhausted {
+        used: oracle.used(),
+        budget: oracle.budget(),
+        context,
+    }
+}
 
 /// The NOFIS estimator (Algorithm 1 of the paper).
 ///
 /// `Nofis` owns a validated [`NofisConfig`]; [`Nofis::train`] learns the
 /// sequence of proposal distributions and [`TrainedNofis::estimate`]
 /// produces the final importance-sampling estimate. The convenience method
-/// [`Nofis::run`] does both.
+/// [`Nofis::run`] does both. All entry points are fallible — see
+/// [`NofisError`] for the failure taxonomy.
 ///
 /// # Example
 ///
@@ -22,7 +51,7 @@ use rand::Rng;
 /// use nofis_prob::{CountingOracle, LimitState};
 /// use rand::SeedableRng;
 ///
-/// # fn main() -> Result<(), nofis_core::ConfigError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // A moderately rare half-space event: P[x0 >= 3] ≈ 1.35e-3.
 /// struct HalfSpace;
 /// impl LimitState for HalfSpace {
@@ -44,9 +73,10 @@ use rand::Rng;
 /// };
 /// let oracle = CountingOracle::new(&HalfSpace);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let (trained, result) = Nofis::new(config)?.run(&oracle, &mut rng);
+/// let (trained, result) = Nofis::new(config)?.run(&oracle, &mut rng)?;
 /// assert_eq!(trained.levels().last(), Some(&0.0));
 /// assert!(result.estimate > 0.0);
+/// assert_eq!(trained.stage_reports().len(), trained.stages());
 /// # Ok(())
 /// # }
 /// ```
@@ -76,18 +106,54 @@ impl Nofis {
     ///
     /// Wrap `limit_state` in a
     /// [`CountingOracle`](nofis_prob::CountingOracle) to meter the budget.
+    /// When [`NofisConfig::max_calls`] is set, training respects it as a
+    /// hard cap.
     ///
-    /// # Panics
+    /// Each stage checkpoints its parameters at the best epoch loss; a
+    /// divergent epoch (non-finite or exploding loss / log-det) rolls back
+    /// to that checkpoint and retries with a halved learning rate, up to
+    /// [`NofisConfig::stage_retries`] times. The recovery history is
+    /// recorded in [`TrainedNofis::stage_reports`].
     ///
-    /// Panics if `limit_state.dim() < 2` (RealNVP coupling layers need at
-    /// least two coordinates).
-    pub fn train(
+    /// # Errors
+    ///
+    /// * [`NofisError::InvalidInput`] if `limit_state.dim() < 2` (RealNVP
+    ///   coupling layers need at least two coordinates).
+    /// * [`NofisError::TrainingDiverged`] if a stage stays divergent after
+    ///   all rollback retries.
+    /// * [`NofisError::BudgetExhausted`] if `max_calls` runs out before the
+    ///   final stage has completed at least one epoch.
+    /// * [`NofisError::DegenerateProposal`] if an adaptive pilot batch
+    ///   scores NaN on every sample.
+    pub fn train<L: LimitState + ?Sized>(
         &self,
-        limit_state: &(impl LimitState + ?Sized),
+        limit_state: &L,
         rng: &mut impl Rng,
-    ) -> TrainedNofis {
-        let dim = limit_state.dim();
-        assert!(dim >= 2, "NOFIS requires dim >= 2, got {dim}");
+    ) -> Result<TrainedNofis, NofisError> {
+        let oracle = BudgetedOracle::new(limit_state, self.config.max_calls.unwrap_or(u64::MAX));
+        self.train_within(&oracle, rng)
+    }
+
+    /// Like [`Nofis::train`] but drawing simulator calls from an existing
+    /// [`BudgetedOracle`], so training and estimation can share one hard
+    /// budget (this is what [`Nofis::run`] does).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Nofis::train`].
+    pub fn train_within<L: LimitState + ?Sized>(
+        &self,
+        oracle: &BudgetedOracle<'_, L>,
+        rng: &mut impl Rng,
+    ) -> Result<TrainedNofis, NofisError> {
+        let dim = oracle.dim();
+        if dim < 2 {
+            return Err(NofisError::InvalidInput {
+                message: format!(
+                    "NOFIS requires dim >= 2 (RealNVP couplings split coordinates), got {dim}"
+                ),
+            });
+        }
         let cfg = &self.config;
         let k = cfg.layers_per_stage;
         let max_stages = cfg.levels.max_stages();
@@ -98,6 +164,7 @@ impl Nofis {
 
         let mut levels: Vec<f64> = Vec::new();
         let mut loss_history: Vec<Vec<f64>> = Vec::new();
+        let mut stage_reports: Vec<StageReport> = Vec::new();
 
         for stage in 0..max_stages {
             // --- Pick this stage's threshold. ---
@@ -107,17 +174,34 @@ impl Nofis {
                     if stage + 1 == max_stages {
                         0.0
                     } else {
+                        let granted = oracle.grant(*pilot);
+                        if granted == 0 {
+                            return Err(budget_error(
+                                oracle,
+                                format!("pilot sampling for stage {}", stage + 1),
+                            ));
+                        }
                         let depth = stage * k;
-                        let mut gvals = Vec::with_capacity(*pilot);
-                        for _ in 0..*pilot {
+                        let mut gvals = Vec::with_capacity(granted);
+                        for _ in 0..granted {
                             let x = if depth == 0 {
                                 base.sample(rng)
                             } else {
                                 flow.sample(&store, depth, rng).0
                             };
-                            gvals.push(limit_state.value(&x));
+                            gvals.push(oracle.value(&x));
                         }
+                        // `quantile` skips NaN scores; if the proposal only
+                        // produces NaN there is nothing to schedule against.
                         let mut q = quantile(&gvals, *p0);
+                        if q.is_nan() {
+                            return Err(NofisError::DegenerateProposal {
+                                context: format!(
+                                    "every pilot sample for stage {} scored NaN",
+                                    stage + 1
+                                ),
+                            });
+                        }
                         // Overshoot guard: tempered training gives the stage
                         // proposal a heavy lower-g tail, which can crash the
                         // pilot quantile to 0 long before the proposal truly
@@ -125,9 +209,8 @@ impl Nofis {
                         // to land on 0 when the pilot actually observes a
                         // healthy failure fraction; otherwise descend
                         // geometrically at most.
-                        let frac_fail = gvals.iter().filter(|&&g| g <= 0.0).count()
-                            as f64
-                            / gvals.len() as f64;
+                        let frac_fail =
+                            gvals.iter().filter(|&&g| g <= 0.0).count() as f64 / gvals.len() as f64;
                         if let Some(&prev) = levels.last() {
                             if frac_fail < 0.5 * p0 {
                                 q = q.max(0.35 * prev);
@@ -154,50 +237,136 @@ impl Nofis {
                 }
             }
 
-            // --- Optimize D[q_{mK} || p_m^tau] (Eq. 8). ---
+            // --- Optimize D[q_{mK} || p_m^tau] (Eq. 8), with checkpoint
+            //     rollback on divergence. ---
             let depth = (stage + 1) * k;
-            let mut opt = Adam::new(cfg.learning_rate);
-            let mut stage_losses = Vec::with_capacity(cfg.epochs);
             let mb = cfg.minibatch.min(cfg.batch_size);
-            for _ in 0..cfg.epochs {
-                // One epoch consumes `batch_size` fresh simulator calls; the
-                // optimizer takes one step per `minibatch`-sized chunk.
-                let mut epoch_loss = 0.0;
-                let mut consumed = 0;
-                while consumed < cfg.batch_size {
-                    let n = mb.min(cfg.batch_size - consumed);
-                    consumed += n;
-                    let z0 = Tensor::from_vec(n, dim, base.sample_flat(n, rng));
-                    let mut g = Graph::new();
-                    let x = g.constant(z0);
-                    let (z, logdet) = flow.forward_graph(&store, &mut g, x, depth);
-                    // tempered term: min(tau * (a_m - g(z)), 0)
-                    let gvals = g.external_rowwise(z, |row| limit_state.value_grad(row));
-                    let neg_tau_g = g.scale(gvals, -cfg.tau);
-                    let shifted = g.add_scalar(neg_tau_g, cfg.tau * level);
-                    let tempered = g.min_scalar(shifted, 0.0);
-                    // base log-density of z: -D/2 ln 2π - ||z||²/2
-                    let sq = g.square(z);
-                    let ssq = g.sum_cols(sq);
-                    let half = g.scale(ssq, -0.5);
-                    let logp = g.add_scalar(half, -0.5 * dim as f64 * LN_2PI);
+            let mut lr = cfg.learning_rate;
+            let mut retries = 0usize;
+            let (stage_losses, best_loss, truncated) = loop {
+                let mut opt = Adam::new(lr).with_max_grad_norm(cfg.max_grad_norm);
+                let mut stage_losses = Vec::with_capacity(cfg.epochs);
+                let mut best_loss = f64::INFINITY;
+                let mut best_store = store.clone();
+                let mut divergence: Option<(usize, String)> = None;
+                let mut truncated = false;
 
-                    let a = g.add(logdet, tempered);
-                    let per_sample = g.add(a, logp);
-                    let mean = g.mean_all(per_sample);
-                    let loss = g.neg(mean);
-                    g.backward(loss);
-                    opt.step(&mut store, &g.param_grads());
-                    epoch_loss += g.value(loss).item() * n as f64;
+                'epochs: for epoch in 0..cfg.epochs {
+                    let epoch_start = store.clone();
+                    let mut epoch_loss = 0.0;
+                    let mut consumed = 0usize;
+                    while consumed < cfg.batch_size {
+                        let want = mb.min(cfg.batch_size - consumed);
+                        let n = oracle.grant(want);
+                        if n == 0 {
+                            if level == 0.0 && !stage_losses.is_empty() {
+                                // Graceful truncation: the final stage has at
+                                // least one full epoch at the target event,
+                                // so the proposal is usable as-is.
+                                truncated = true;
+                                break 'epochs;
+                            }
+                            return Err(budget_error(
+                                oracle,
+                                format!("training stage {}", stage + 1),
+                            ));
+                        }
+                        let z0 = Tensor::from_vec(n, dim, base.sample_flat(n, rng));
+                        let mut g = Graph::new();
+                        let x = g.constant(z0);
+                        let (z, logdet) = flow.forward_graph(&store, &mut g, x, depth);
+                        // tempered term: min(tau * (a_m - g(z)), 0). A
+                        // non-finite simulator response is sanitized to
+                        // "safely non-failing, zero gradient" so one broken
+                        // subregion cannot poison the whole batch (the call
+                        // still counts against the budget).
+                        let gvals = g.external_rowwise(z, |row| {
+                            let (v, grad) = oracle.value_grad(row);
+                            if v.is_finite() && grad.iter().all(|gi| gi.is_finite()) {
+                                (v, grad)
+                            } else {
+                                (level + 1.0, vec![0.0; dim])
+                            }
+                        });
+                        consumed += n;
+                        let neg_tau_g = g.scale(gvals, -cfg.tau);
+                        let shifted = g.add_scalar(neg_tau_g, cfg.tau * level);
+                        let tempered = g.min_scalar(shifted, 0.0);
+                        // base log-density of z: -D/2 ln 2π - ||z||²/2
+                        let sq = g.square(z);
+                        let ssq = g.sum_cols(sq);
+                        let half = g.scale(ssq, -0.5);
+                        let logp = g.add_scalar(half, -0.5 * dim as f64 * LN_2PI);
+
+                        let a = g.add(logdet, tempered);
+                        let per_sample = g.add(a, logp);
+                        let mean = g.mean_all(per_sample);
+                        let loss = g.neg(mean);
+                        let chunk_loss = g.value(loss).item();
+                        let logdet_mag = g.value(logdet).max_abs();
+                        if !chunk_loss.is_finite() || logdet_mag > LOGDET_DIVERGENCE_LIMIT {
+                            divergence = Some((
+                                epoch,
+                                format!("minibatch loss = {chunk_loss}, |logdet| = {logdet_mag}"),
+                            ));
+                            break 'epochs;
+                        }
+                        g.backward(loss);
+                        opt.step(&mut store, &g.param_grads());
+                        epoch_loss += chunk_loss * n as f64;
+                    }
+                    epoch_loss /= consumed as f64;
+                    if !epoch_loss.is_finite() || epoch_loss.abs() > LOSS_DIVERGENCE_LIMIT {
+                        divergence = Some((epoch, format!("epoch loss = {epoch_loss}")));
+                        break 'epochs;
+                    }
+                    stage_losses.push(epoch_loss);
+                    if epoch_loss < best_loss {
+                        // Checkpoint the parameters that *produced* this
+                        // best loss — the state at the epoch's start.
+                        best_loss = epoch_loss;
+                        best_store = epoch_start;
+                    }
                 }
-                stage_losses.push(epoch_loss / cfg.batch_size as f64);
-            }
+
+                match divergence {
+                    None => break (stage_losses, best_loss, truncated),
+                    Some((epoch, message)) => {
+                        retries += 1;
+                        if retries > cfg.stage_retries {
+                            return Err(NofisError::TrainingDiverged {
+                                stage: stage + 1,
+                                epoch,
+                                retries: retries - 1,
+                                message,
+                            });
+                        }
+                        // Roll back to the best checkpoint and retry with a
+                        // gentler learning rate and fresh optimizer state.
+                        store = best_store;
+                        lr *= 0.5;
+                    }
+                }
+            };
+
+            stage_reports.push(StageReport {
+                stage: stage + 1,
+                level,
+                epochs_run: stage_losses.len(),
+                retries,
+                rolled_back: retries > 0,
+                best_loss,
+                final_loss: stage_losses.last().copied().unwrap_or(f64::NAN),
+                learning_rate: lr,
+                truncated,
+            });
             loss_history.push(stage_losses);
 
-            if level == 0.0 {
-                // The adaptive schedule reached the target event: stop and
-                // save the remaining budget (further stages at level 0 were
-                // observed to over-concentrate the proposal).
+            if truncated || level == 0.0 {
+                // The schedule reached the target event (or the budget
+                // truncated the final stage): stop and save the remaining
+                // budget (further stages at level 0 were observed to
+                // over-concentrate the proposal).
                 break;
             }
         }
@@ -206,37 +375,47 @@ impl Nofis {
         // the adaptive one breaks on 0.0 or forces it at the last stage.
         debug_assert_eq!(levels.last().copied(), Some(0.0));
 
-        TrainedNofis {
+        Ok(TrainedNofis {
             flow,
             store,
             levels,
             loss_history,
+            stage_reports,
             layers_per_stage: k,
-        }
+        })
     }
 
-    /// Trains and immediately produces the final IS estimate with
-    /// `config.n_is` samples; returns both the trained model and the
-    /// estimate.
-    pub fn run(
+    /// Trains and immediately produces the final estimate with
+    /// `config.n_is` samples, sharing one hard budget
+    /// ([`NofisConfig::max_calls`], unlimited when `None`) across both
+    /// phases; returns the trained model and the estimate (whose
+    /// [`IsResult::rung`] records which ladder rung produced it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Nofis::train`] plus the estimation errors of
+    /// [`TrainedNofis::estimate_within`].
+    pub fn run<L: LimitState + ?Sized>(
         &self,
-        limit_state: &(impl LimitState + ?Sized),
+        limit_state: &L,
         rng: &mut impl Rng,
-    ) -> (TrainedNofis, IsResult) {
-        let trained = self.train(limit_state, rng);
-        let result = trained.estimate(limit_state, self.config.n_is, rng);
-        (trained, result)
+    ) -> Result<(TrainedNofis, IsResult), NofisError> {
+        let oracle = BudgetedOracle::new(limit_state, self.config.max_calls.unwrap_or(u64::MAX));
+        let trained = self.train_within(&oracle, rng)?;
+        let (result, _diag) = trained.estimate_within(&oracle, self.config.n_is, rng)?;
+        Ok((trained, result))
     }
 }
 
 /// A trained NOFIS model: the flow, its parameters, the realized threshold
-/// schedule and the per-stage training losses.
+/// schedule, the per-stage training losses and health reports.
 #[derive(Debug, Clone)]
 pub struct TrainedNofis {
     flow: RealNvp,
     store: ParamStore,
     levels: Vec<f64>,
     loss_history: Vec<Vec<f64>>,
+    stage_reports: Vec<StageReport>,
     layers_per_stage: usize,
 }
 
@@ -250,6 +429,11 @@ impl TrainedNofis {
     /// Per-stage, per-epoch training losses (Figure 3e of the paper).
     pub fn loss_history(&self) -> &[Vec<f64>] {
         &self.loss_history
+    }
+
+    /// Per-stage training health reports (retries, rollbacks, truncation).
+    pub fn stage_reports(&self) -> &[StageReport] {
+        &self.stage_reports
     }
 
     /// Number of trained stages `M`.
@@ -287,45 +471,169 @@ impl TrainedNofis {
         FlowProposal::new(&self.flow, &self.store, stage * self.layers_per_stage)
     }
 
-    /// Final importance-sampling estimate of `P[g(x) ≤ 0]` using `n_is`
-    /// proposal samples (Eq. 2), each costing one simulator call.
+    /// Final importance-sampling estimate of `P[g(x) ≤ 0]` (Eq. 2), guarded
+    /// by the fallback ladder of [`TrainedNofis::estimate_within`]. The
+    /// standalone call is given a hard budget of `4 · n_is` simulator calls
+    /// (one `n_is` tranche per ladder rung); the healthy path consumes
+    /// exactly `n_is`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_is == 0`.
-    pub fn estimate(
+    /// See [`TrainedNofis::estimate_within`].
+    pub fn estimate<L: LimitState + ?Sized>(
         &self,
-        limit_state: &(impl LimitState + ?Sized),
+        limit_state: &L,
         n_is: usize,
         rng: &mut impl Rng,
-    ) -> IsResult {
-        let p = StandardGaussian::new(self.flow.dim());
-        importance_sampling(limit_state, 0.0, &self.proposal(), &p, n_is, rng)
+    ) -> Result<IsResult, NofisError> {
+        self.estimate_with_diagnostics(limit_state, n_is, rng)
+            .map(|(result, _)| result)
     }
 
     /// Like [`TrainedNofis::estimate`] but also returns
-    /// [`WeightDiagnostics`] over the realized importance weights, so
-    /// callers can detect weight degeneracy (a heavy-tailed proposal
-    /// mismatch) instead of trusting a silently bad estimate.
+    /// [`WeightDiagnostics`] over the finite importance weights of the
+    /// accepted rung (`None` when that rung observed no failure hits, or
+    /// for the plain-Monte-Carlo rung, which has no weights).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_is == 0`.
-    pub fn estimate_with_diagnostics(
+    /// See [`TrainedNofis::estimate_within`].
+    pub fn estimate_with_diagnostics<L: LimitState + ?Sized>(
         &self,
-        limit_state: &(impl LimitState + ?Sized),
+        limit_state: &L,
         n_is: usize,
         rng: &mut impl Rng,
-    ) -> (IsResult, Option<WeightDiagnostics>) {
+    ) -> Result<(IsResult, Option<WeightDiagnostics>), NofisError> {
+        let budget = (n_is as u64).saturating_mul(ESTIMATE_BUDGET_FACTOR);
+        let oracle = BudgetedOracle::new(limit_state, budget);
+        self.estimate_within(&oracle, n_is, rng)
+    }
+
+    /// The guarded estimation fallback ladder, drawing all simulator calls
+    /// from `oracle`:
+    ///
+    /// 1. the final proposal `q_{MK}`;
+    /// 2. the previous stage's proposal `q_{(M−1)K}` (less concentrated);
+    /// 3. the defensive mixture `α·p + (1−α)·q_{MK}` with `α = 1/2`, whose
+    ///    weights are bounded by `1/α`;
+    /// 4. plain Monte Carlo within the remaining budget, accepted
+    ///    unconditionally.
+    ///
+    /// A rung is accepted when its estimate is finite, it observed at least
+    /// one failure hit, and [`WeightDiagnostics::looks_healthy`] holds over
+    /// its finite log-weights; otherwise the ladder descends. The accepted
+    /// rung is recorded in [`IsResult::rung`]. If the budget runs out
+    /// mid-ladder, the last computed (finite, budget-respecting) result is
+    /// returned instead of overrunning.
+    ///
+    /// # Errors
+    ///
+    /// * [`NofisError::InvalidInput`] if `n_is == 0` or the oracle's
+    ///   dimension does not match the trained flow.
+    /// * [`NofisError::BudgetExhausted`] if not even the first rung could
+    ///   draw a single sample.
+    pub fn estimate_within<L: LimitState + ?Sized>(
+        &self,
+        oracle: &BudgetedOracle<'_, L>,
+        n_is: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(IsResult, Option<WeightDiagnostics>), NofisError> {
+        if n_is == 0 {
+            return Err(NofisError::InvalidInput {
+                message: "n_is must be positive".into(),
+            });
+        }
+        if oracle.dim() != self.flow.dim() {
+            return Err(NofisError::InvalidInput {
+                message: format!(
+                    "limit state dimension {} does not match trained flow dimension {}",
+                    oracle.dim(),
+                    self.flow.dim()
+                ),
+            });
+        }
         let p = StandardGaussian::new(self.flow.dim());
-        let (result, log_weights) =
-            importance_sampling_detailed(limit_state, 0.0, &self.proposal(), &p, n_is, rng);
-        let diag = if log_weights.is_empty() {
-            None
-        } else {
-            Some(WeightDiagnostics::from_log_weights(&log_weights))
+        let final_prop = self.proposal();
+
+        // Rung 1: the final proposal.
+        let first = match run_rung(
+            oracle,
+            &final_prop,
+            &p,
+            n_is,
+            FallbackRung::FinalProposal,
+            rng,
+        ) {
+            Some(r) => r,
+            None => return Err(budget_error(oracle, "the final-proposal estimate".into())),
         };
-        (result, diag)
+        if rung_is_healthy(&first) {
+            return Ok(first);
+        }
+        let mut last = first;
+
+        // Rung 2: the previous stage's (less concentrated) proposal.
+        if self.stages() >= 2 {
+            let prev_stage = self.stages() - 1;
+            let prev = self.stage_proposal(prev_stage);
+            match run_rung(
+                oracle,
+                &prev,
+                &p,
+                n_is,
+                FallbackRung::StageProposal { stage: prev_stage },
+                rng,
+            ) {
+                Some(r) => {
+                    if rung_is_healthy(&r) {
+                        return Ok(r);
+                    }
+                    if r.0.estimate.is_finite() {
+                        last = r;
+                    }
+                }
+                None => return Ok(last),
+            }
+        }
+
+        // Rung 3: the defensive mixture with the base distribution.
+        if let Ok(defensive) = DefensiveMixture::new(&final_prop, DEFENSIVE_ALPHA) {
+            match run_rung(
+                oracle,
+                &defensive,
+                &p,
+                n_is,
+                FallbackRung::DefensiveMixture {
+                    alpha: DEFENSIVE_ALPHA,
+                },
+                rng,
+            ) {
+                Some(r) => {
+                    if rung_is_healthy(&r) {
+                        return Ok(r);
+                    }
+                    if r.0.estimate.is_finite() {
+                        last = r;
+                    }
+                }
+                None => return Ok(last),
+            }
+        }
+
+        // Rung 4: plain Monte Carlo within the remaining budget, accepted
+        // unconditionally — it cannot produce degenerate weights.
+        let n = oracle.grant(n_is);
+        if n == 0 {
+            return Ok(last);
+        }
+        let mc = monte_carlo(oracle, 0.0, n, rng);
+        let result = IsResult {
+            estimate: mc.estimate(),
+            hits: mc.hits,
+            effective_sample_size: mc.hits as f64,
+            rung: FallbackRung::PlainMonteCarlo,
+        };
+        Ok((result, None))
     }
 
     /// Exact log-density of the final proposal at `x` (used by the
@@ -338,6 +646,39 @@ impl TrainedNofis {
     pub fn flow(&self) -> (&RealNvp, &ParamStore) {
         (&self.flow, &self.store)
     }
+}
+
+/// Runs one ladder rung within the budget: `None` when not even one sample
+/// is affordable, otherwise the tagged result plus diagnostics over the
+/// finite log-weights.
+fn run_rung<L: LimitState + ?Sized, Q: Proposal + ?Sized>(
+    oracle: &BudgetedOracle<'_, L>,
+    proposal: &Q,
+    p: &StandardGaussian,
+    n_is: usize,
+    rung: FallbackRung,
+    rng: &mut impl Rng,
+) -> Option<(IsResult, Option<WeightDiagnostics>)> {
+    let n = oracle.grant(n_is);
+    if n == 0 {
+        return None;
+    }
+    let (result, log_weights) = importance_sampling_detailed(oracle, 0.0, proposal, p, n, rng);
+    let finite: Vec<f64> = log_weights.into_iter().filter(|w| w.is_finite()).collect();
+    let diag = if finite.is_empty() {
+        None
+    } else {
+        Some(WeightDiagnostics::from_log_weights(&finite))
+    };
+    Some((result.with_rung(rung), diag))
+}
+
+/// A rung is accepted when its estimate is finite, it saw at least one
+/// failure hit, and the weight diagnostics look healthy.
+fn rung_is_healthy((result, diag): &(IsResult, Option<WeightDiagnostics>)) -> bool {
+    result.estimate.is_finite()
+        && result.hits > 0
+        && diag.as_ref().is_some_and(|d| d.looks_healthy())
 }
 
 #[cfg(test)]
@@ -388,7 +729,7 @@ mod tests {
         let budget = cfg.training_budget() + cfg.n_is as u64;
         let nofis = Nofis::new(cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
-        let (trained, result) = nofis.run(&oracle, &mut rng);
+        let (trained, result) = nofis.run(&oracle, &mut rng).unwrap();
 
         let golden = 1.0 - normal_cdf(3.5);
         let err = log_error(result.estimate, golden);
@@ -397,10 +738,17 @@ mod tests {
             "estimate {} vs golden {golden}: log error {err}",
             result.estimate
         );
+        // The healthy path uses the final proposal and exactly the nominal
+        // budget — no hidden fallback resampling.
+        assert_eq!(result.rung, FallbackRung::FinalProposal);
         assert_eq!(oracle.calls(), budget);
         assert_eq!(trained.levels(), &[2.0, 1.0, 0.0]);
         assert_eq!(trained.stages(), 3);
         assert_eq!(trained.depth(), 12);
+        let reports = trained.stage_reports();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| !r.rolled_back && !r.truncated));
+        assert!(reports.iter().all(|r| r.epochs_run == 12));
     }
 
     #[test]
@@ -414,7 +762,7 @@ mod tests {
         });
         let nofis = Nofis::new(cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
-        let trained = nofis.train(&oracle, &mut rng);
+        let trained = nofis.train(&oracle, &mut rng).unwrap();
         let levels = trained.levels();
         assert_eq!(*levels.last().unwrap(), 0.0);
         // Levels decrease strictly until 0.0, then may repeat 0.0
@@ -429,11 +777,16 @@ mod tests {
         let cfg = small_config(Levels::Fixed(vec![1.5, 0.0]));
         let nofis = Nofis::new(cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let trained = nofis.train(&ls, &mut rng);
+        let trained = nofis.train(&ls, &mut rng).unwrap();
         let losses = &trained.loss_history()[0];
         let head = losses[..3].iter().sum::<f64>() / 3.0;
         let tail = losses[losses.len() - 3..].iter().sum::<f64>() / 3.0;
         assert!(tail < head, "losses did not decrease: {losses:?}");
+        // The report agrees with the loss history.
+        let report = &trained.stage_reports()[0];
+        assert_eq!(report.epochs_run, losses.len());
+        assert_eq!(report.final_loss, *losses.last().unwrap());
+        assert!(report.best_loss <= report.final_loss);
     }
 
     #[test]
@@ -442,7 +795,7 @@ mod tests {
         let cfg = small_config(Levels::Fixed(vec![1.0, 0.0]));
         let nofis = Nofis::new(cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let trained = nofis.train(&ls, &mut rng);
+        let trained = nofis.train(&ls, &mut rng).unwrap();
         assert_eq!(trained.stage_proposal(1).depth(), 4);
         assert_eq!(trained.stage_proposal(2).depth(), 8);
         assert_eq!(trained.proposal().depth(), 8);
@@ -455,7 +808,8 @@ mod tests {
         let cfg = small_config(Levels::Fixed(vec![0.0]));
         let trained = Nofis::new(cfg)
             .unwrap()
-            .train(&ls, &mut StdRng::seed_from_u64(0));
+            .train(&ls, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         let _ = trained.stage_proposal(2);
     }
 
@@ -466,5 +820,72 @@ mod tests {
             ..Default::default()
         };
         assert!(Nofis::new(cfg).is_err());
+    }
+
+    #[test]
+    fn one_dimensional_input_is_invalid_input() {
+        struct OneD;
+        impl LimitState for OneD {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn value(&self, x: &[f64]) -> f64 {
+                3.0 - x[0]
+            }
+        }
+        let cfg = small_config(Levels::Fixed(vec![0.0]));
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = nofis.train(&OneD, &mut rng).unwrap_err();
+        assert!(matches!(err, NofisError::InvalidInput { .. }), "{err}");
+        let err = nofis.run(&OneD, &mut rng).unwrap_err();
+        assert!(matches!(err, NofisError::InvalidInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_n_is_is_invalid_input() {
+        let ls = HalfSpace { beta: 3.0 };
+        let cfg = NofisConfig {
+            epochs: 2,
+            ..small_config(Levels::Fixed(vec![0.0]))
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let trained = Nofis::new(cfg).unwrap().train(&ls, &mut rng).unwrap();
+        let err = trained.estimate(&ls, 0, &mut rng).unwrap_err();
+        assert!(matches!(err, NofisError::InvalidInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_before_final_stage_is_an_error() {
+        let ls = HalfSpace { beta: 3.5 };
+        let oracle = CountingOracle::new(&ls);
+        let cfg = NofisConfig {
+            max_calls: Some(150), // stage 1 alone needs 12 * 100 calls
+            ..small_config(Levels::Fixed(vec![2.0, 1.0, 0.0]))
+        };
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let err = nofis.run(&oracle, &mut rng).unwrap_err();
+        assert!(matches!(err, NofisError::BudgetExhausted { .. }), "{err}");
+        // The cap is honored exactly: truncated grants, no overrun.
+        assert_eq!(oracle.calls(), 150);
+    }
+
+    #[test]
+    fn final_stage_budget_truncation_is_graceful() {
+        let ls = HalfSpace { beta: 2.0 };
+        let oracle = CountingOracle::new(&ls);
+        // Single stage at level 0: 12 epochs * 100 calls nominal, capped so
+        // only ~3 epochs fit.
+        let cfg = NofisConfig {
+            max_calls: Some(350),
+            ..small_config(Levels::Fixed(vec![0.0]))
+        };
+        let nofis = Nofis::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trained = nofis.train(&oracle, &mut rng).unwrap();
+        let report = &trained.stage_reports()[0];
+        assert!(report.truncated, "report: {report}");
+        assert!(report.epochs_run >= 1 && report.epochs_run < 12);
     }
 }

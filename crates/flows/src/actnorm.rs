@@ -9,6 +9,12 @@
 
 use nofis_autograd::{Graph, ParamId, ParamStore, Tensor, Var};
 
+/// Default clamp on ActNorm's per-coordinate log-scale: `|s| ≤ 5` bounds
+/// each scale factor to `[e^-5, e^5] ≈ [0.0067, 148]`, generous for
+/// normalization while preventing a diverged optimizer step from producing
+/// `exp(s)` overflow and NaN log-dets.
+pub const DEFAULT_S_MAX: f64 = 5.0;
+
 /// A trainable per-coordinate affine normalization layer.
 ///
 /// # Example
@@ -28,23 +34,45 @@ pub struct ActNorm {
     log_scale: ParamId,
     bias: ParamId,
     dim: usize,
+    s_max: f64,
 }
 
 impl ActNorm {
-    /// Creates an identity-initialized ActNorm over `dim` coordinates.
+    /// Creates an identity-initialized ActNorm over `dim` coordinates with
+    /// the default log-scale clamp [`DEFAULT_S_MAX`].
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0`.
     pub fn new(store: &mut ParamStore, dim: usize) -> Self {
+        Self::with_s_max(store, dim, DEFAULT_S_MAX)
+    }
+
+    /// Creates an identity-initialized ActNorm whose effective log-scale is
+    /// hard-clamped to `[-s_max, s_max]` — the same overflow guard RealNVP
+    /// couplings apply to their scale nets. The clamp is applied everywhere
+    /// the scale is used (forward, inverse, graph, log-det), so the layer
+    /// stays an exact bijection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `s_max` is not finite and positive.
+    pub fn with_s_max(store: &mut ParamStore, dim: usize, s_max: f64) -> Self {
         assert!(dim > 0, "ActNorm needs at least one dimension");
+        assert!(s_max.is_finite() && s_max > 0.0, "s_max must be positive");
         let log_scale = store.add(Tensor::zeros(1, dim));
         let bias = store.add(Tensor::zeros(1, dim));
         ActNorm {
             log_scale,
             bias,
             dim,
+            s_max,
         }
+    }
+
+    /// The log-scale clamp bound.
+    pub fn s_max(&self) -> f64 {
+        self.s_max
     }
 
     /// Dimensionality.
@@ -67,7 +95,10 @@ impl ActNorm {
     /// than `self.dim()`.
     pub fn initialize_from(&self, store: &mut ParamStore, batch: &Tensor) {
         assert_eq!(batch.cols(), self.dim, "dimension mismatch");
-        assert!(batch.rows() >= 2, "need at least two rows to estimate variance");
+        assert!(
+            batch.rows() >= 2,
+            "need at least two rows to estimate variance"
+        );
         let n = batch.rows() as f64;
         for c in 0..self.dim {
             let mean: f64 = (0..batch.rows()).map(|r| batch[(r, c)]).sum::<f64>() / n;
@@ -86,14 +117,20 @@ impl ActNorm {
     pub fn forward_graph(&self, store: &ParamStore, g: &mut Graph, x: Var) -> (Var, Var) {
         let (n, d) = g.value(x).shape();
         assert_eq!(d, self.dim, "dimension mismatch in ActNorm forward");
-        let s = store.inject(g, self.log_scale);
+        let s_raw = store.inject(g, self.log_scale);
         let b = store.inject(g, self.bias);
+        // Hard clamp s to [-s_max, s_max]: max(a, b) = -min(-a, -b), so the
+        // two-sided clamp composes from min_scalar and neg.
+        let upper = g.min_scalar(s_raw, self.s_max);
+        let neg_upper = g.neg(upper);
+        let lowered = g.min_scalar(neg_upper, self.s_max);
+        let s = g.neg(lowered);
         let es = g.exp(s);
         let scaled = g.mul_row(x, es);
         let y = g.add_row(scaled, b);
-        // Per-sample logdet = sum of log-scales (same every row): build it
-        // differentiably by summing s and broadcasting via matmul with a
-        // column of ones.
+        // Per-sample logdet = sum of (clamped) log-scales, same every row:
+        // build it differentiably by summing s and broadcasting via matmul
+        // with a column of ones.
         let s_sum = g.sum_cols(s); // [1,1]
         let ones = g.constant(Tensor::filled(n, 1, 1.0));
         let logdet = g.matmul(ones, s_sum); // [N,1]
@@ -113,9 +150,10 @@ impl ActNorm {
             .iter()
             .zip(s)
             .zip(b)
-            .map(|((&v, &si), &bi)| v * si.exp() + bi)
+            .map(|((&v, &si), &bi)| v * si.clamp(-self.s_max, self.s_max).exp() + bi)
             .collect();
-        (y, s.iter().sum())
+        let ld = s.iter().map(|si| si.clamp(-self.s_max, self.s_max)).sum();
+        (y, ld)
     }
 
     /// Inverse transform of one point; returns `(x, ln|det J⁻¹|)`.
@@ -131,9 +169,13 @@ impl ActNorm {
             .iter()
             .zip(s)
             .zip(b)
-            .map(|((&v, &si), &bi)| (v - bi) * (-si).exp())
+            .map(|((&v, &si), &bi)| (v - bi) * (-si.clamp(-self.s_max, self.s_max)).exp())
             .collect();
-        (x, -s.iter().sum::<f64>())
+        let ld = -s
+            .iter()
+            .map(|si| si.clamp(-self.s_max, self.s_max))
+            .sum::<f64>();
+        (x, ld)
     }
 }
 
@@ -189,8 +231,14 @@ mod tests {
     fn round_trip_with_nontrivial_params() {
         let mut store = ParamStore::new();
         let layer = ActNorm::new(&mut store, 3);
-        store.get_mut(layer.param_ids()[0]).as_mut_slice().copy_from_slice(&[0.3, -0.2, 0.5]);
-        store.get_mut(layer.param_ids()[1]).as_mut_slice().copy_from_slice(&[1.0, 2.0, -0.5]);
+        store
+            .get_mut(layer.param_ids()[0])
+            .as_mut_slice()
+            .copy_from_slice(&[0.3, -0.2, 0.5]);
+        store
+            .get_mut(layer.param_ids()[1])
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, -0.5]);
         let x = [0.4, -1.2, 2.2];
         let (y, ld) = layer.transform(&store, &x);
         let (back, ld_inv) = layer.inverse(&store, &y);
@@ -205,8 +253,14 @@ mod tests {
     fn graph_forward_matches_plain() {
         let mut store = ParamStore::new();
         let layer = ActNorm::new(&mut store, 2);
-        store.get_mut(layer.param_ids()[0]).as_mut_slice().copy_from_slice(&[0.1, -0.4]);
-        store.get_mut(layer.param_ids()[1]).as_mut_slice().copy_from_slice(&[0.7, 0.2]);
+        store
+            .get_mut(layer.param_ids()[0])
+            .as_mut_slice()
+            .copy_from_slice(&[0.1, -0.4]);
+        store
+            .get_mut(layer.param_ids()[1])
+            .as_mut_slice()
+            .copy_from_slice(&[0.7, 0.2]);
         let mut g = Graph::new();
         let x = g.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, -0.5, 0.5]));
         let (y, ld) = layer.forward_graph(&store, &mut g, x);
@@ -215,6 +269,41 @@ mod tests {
         assert!((g.value(y)[(0, 1)] - p0[1]).abs() < 1e-12);
         assert!((g.value(ld)[(0, 0)] - pld).abs() < 1e-12);
         assert!((g.value(ld)[(1, 0)] - pld).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_log_scales_are_clamped() {
+        let mut store = ParamStore::new();
+        let layer = ActNorm::with_s_max(&mut store, 2, 2.0);
+        store
+            .get_mut(layer.param_ids()[0])
+            .as_mut_slice()
+            .copy_from_slice(&[50.0, -50.0]); // way past the clamp
+        let x = [1.0, 1.0];
+        let (y, ld) = layer.transform(&store, &x);
+        assert!((y[0] - 2.0f64.exp()).abs() < 1e-12, "y0 = {}", y[0]);
+        assert!((y[1] - (-2.0f64).exp()).abs() < 1e-12, "y1 = {}", y[1]);
+        assert!(ld.abs() < 1e-12, "clamped logdet = {ld}");
+        // Still an exact bijection under the clamp.
+        let (back, ld_inv) = layer.inverse(&store, &y);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((ld + ld_inv).abs() < 1e-12);
+        // Graph path applies the same clamp.
+        let mut g = Graph::new();
+        let xv = g.constant(Tensor::from_vec(1, 2, x.to_vec()));
+        let (yv, ldv) = layer.forward_graph(&store, &mut g, xv);
+        assert!((g.value(yv)[(0, 0)] - y[0]).abs() < 1e-12);
+        assert!((g.value(ldv)[(0, 0)] - ld).abs() < 1e-12);
+        assert!(g.value(yv).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "s_max")]
+    fn rejects_non_positive_s_max() {
+        let mut store = ParamStore::new();
+        let _ = ActNorm::with_s_max(&mut store, 2, 0.0);
     }
 
     #[test]

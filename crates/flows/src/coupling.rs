@@ -249,8 +249,8 @@ mod tests {
         let (y, ld) = layer.forward_graph(&store, &mut g, x);
         for (r, row) in rows.iter().enumerate() {
             let (py, pld) = layer.transform(&store, row);
-            for c in 0..4 {
-                assert!((g.value(y)[(r, c)] - py[c]).abs() < 1e-12);
+            for (c, pyc) in py.iter().enumerate() {
+                assert!((g.value(y)[(r, c)] - pyc).abs() < 1e-12);
             }
             assert!((g.value(ld)[(r, 0)] - pld).abs() < 1e-12);
         }
@@ -278,15 +278,23 @@ mod tests {
         // Coupling Jacobian is triangular with unit diagonal on the mask:
         // determinant = product of diagonal entries.
         let det: f64 = (0..d).map(|i| jac[i][i]).product();
-        assert!((det.ln() - ld).abs() < 1e-6, "logdet {ld} vs numeric {}", det.ln());
+        assert!(
+            (det.ln() - ld).abs() < 1e-6,
+            "logdet {ld} vs numeric {}",
+            det.ln()
+        );
     }
 
     #[test]
     fn parameter_gradients_match_finite_differences() {
         let (mut store, layer) = randomized_layer(23);
-        let x_data = Tensor::from_vec(3, 4, vec![
-            0.2, -0.5, 0.8, 0.3, -1.1, 0.6, 0.4, -0.2, 0.9, 0.1, -0.7, 1.2,
-        ]);
+        let x_data = Tensor::from_vec(
+            3,
+            4,
+            vec![
+                0.2, -0.5, 0.8, 0.3, -1.1, 0.6, 0.4, -0.2, 0.9, 0.1, -0.7, 1.2,
+            ],
+        );
 
         // loss = mean( sum_cols(y^2) ) + mean(logdet)
         let loss_of = |s: &ParamStore| {

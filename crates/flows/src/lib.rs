@@ -37,7 +37,7 @@ mod mask;
 mod nice;
 mod realnvp;
 
-pub use actnorm::ActNorm;
+pub use actnorm::{ActNorm, DEFAULT_S_MAX};
 pub use coupling::AffineCoupling;
 pub use mask::Mask;
 pub use nice::AdditiveCoupling;

@@ -101,7 +101,9 @@ impl AdditiveCoupling {
         assert_eq!(x.len(), self.dim(), "dimension mismatch in transform");
         let m = self.mask.as_slice();
         let masked: Vec<f64> = x.iter().zip(m).map(|(&v, &b)| v * b).collect();
-        let t = self.translate_net.predict(store, &Tensor::from_row(&masked));
+        let t = self
+            .translate_net
+            .predict(store, &Tensor::from_row(&masked));
         let y: Vec<f64> = x
             .iter()
             .enumerate()
@@ -119,7 +121,9 @@ impl AdditiveCoupling {
         assert_eq!(y.len(), self.dim(), "dimension mismatch in inverse");
         let m = self.mask.as_slice();
         let masked: Vec<f64> = y.iter().zip(m).map(|(&v, &b)| v * b).collect();
-        let t = self.translate_net.predict(store, &Tensor::from_row(&masked));
+        let t = self
+            .translate_net
+            .predict(store, &Tensor::from_row(&masked));
         let x: Vec<f64> = y
             .iter()
             .enumerate()
@@ -182,8 +186,8 @@ mod tests {
         let xv = g.constant(Tensor::from_row(&x));
         let (y, ld) = layer.forward_graph(&store, &mut g, xv);
         let (py, _) = layer.transform(&store, &x);
-        for c in 0..4 {
-            assert!((g.value(y)[(0, c)] - py[c]).abs() < 1e-12);
+        for (c, pyc) in py.iter().enumerate() {
+            assert!((g.value(y)[(0, c)] - pyc).abs() < 1e-12);
         }
         assert_eq!(g.value(ld).item(), 0.0);
     }

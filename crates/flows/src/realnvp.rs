@@ -59,7 +59,13 @@ impl RealNvp {
         assert!(n_layers > 0, "RealNVP requires at least one layer");
         let layers = (0..n_layers)
             .map(|i| {
-                AffineCoupling::new(store, Mask::alternating(dim, i % 2 == 0), hidden, s_max, rng)
+                AffineCoupling::new(
+                    store,
+                    Mask::alternating(dim, i % 2 == 0),
+                    hidden,
+                    s_max,
+                    rng,
+                )
             })
             .collect();
         RealNvp { layers, dim }
@@ -112,7 +118,10 @@ impl RealNvp {
         x: Var,
         depth: usize,
     ) -> (Var, Var) {
-        assert!(depth >= 1 && depth <= self.layers.len(), "invalid depth {depth}");
+        assert!(
+            depth >= 1 && depth <= self.layers.len(),
+            "invalid depth {depth}"
+        );
         let (mut z, mut logdet) = self.layers[0].forward_graph(store, g, x);
         for layer in &self.layers[1..depth] {
             let (z2, ld) = layer.forward_graph(store, g, z);
@@ -130,7 +139,10 @@ impl RealNvp {
     /// Panics if `depth` is zero, exceeds the layer count, or
     /// `x.len() != self.dim()`.
     pub fn transform(&self, store: &ParamStore, x: &[f64], depth: usize) -> (Vec<f64>, f64) {
-        assert!(depth >= 1 && depth <= self.layers.len(), "invalid depth {depth}");
+        assert!(
+            depth >= 1 && depth <= self.layers.len(),
+            "invalid depth {depth}"
+        );
         let mut z = x.to_vec();
         let mut logdet = 0.0;
         for layer in &self.layers[..depth] {
@@ -149,7 +161,10 @@ impl RealNvp {
     /// Panics if `depth` is zero, exceeds the layer count, or
     /// `y.len() != self.dim()`.
     pub fn inverse(&self, store: &ParamStore, y: &[f64], depth: usize) -> (Vec<f64>, f64) {
-        assert!(depth >= 1 && depth <= self.layers.len(), "invalid depth {depth}");
+        assert!(
+            depth >= 1 && depth <= self.layers.len(),
+            "invalid depth {depth}"
+        );
         let mut z = y.to_vec();
         let mut logdet_inv = 0.0;
         for layer in self.layers[..depth].iter().rev() {
@@ -271,8 +286,8 @@ mod tests {
             let xv = g.constant(Tensor::from_row(&x));
             let (z, ld) = flow.forward_graph(&store, &mut g, xv, depth);
             let (pz, pld) = flow.transform(&store, &x, depth);
-            for c in 0..4 {
-                assert!((g.value(z)[(0, c)] - pz[c]).abs() < 1e-12);
+            for (c, pzc) in pz.iter().enumerate() {
+                assert!((g.value(z)[(0, c)] - pzc).abs() < 1e-12);
             }
             assert!((g.value(ld)[(0, 0)] - pld).abs() < 1e-12);
         }

@@ -130,6 +130,7 @@ impl Mul<f64> for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w = z * w^-1
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }

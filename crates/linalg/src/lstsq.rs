@@ -48,7 +48,7 @@ pub fn lstsq(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError>
             a.cols()
         )));
     }
-    if !(ridge >= 0.0) || !ridge.is_finite() {
+    if ridge < 0.0 || !ridge.is_finite() {
         return Err(LinalgError::invalid("ridge must be finite and >= 0"));
     }
     let at = a.transpose();

@@ -105,6 +105,7 @@ impl LuDecomposition {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest indexed
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -191,10 +192,7 @@ impl CluDecomposition {
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        let scale = lu
-            .as_slice()
-            .iter()
-            .fold(1.0_f64, |m, z| m.max(z.abs()));
+        let scale = lu.as_slice().iter().fold(1.0_f64, |m, z| m.max(z.abs()));
 
         for k in 0..n {
             let mut p = k;
@@ -241,6 +239,7 @@ impl CluDecomposition {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest indexed
     pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -282,12 +281,8 @@ mod tests {
 
     #[test]
     fn solves_well_conditioned_system() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let lu = LuDecomposition::new(&a).unwrap();
         let x = lu.solve(&b).unwrap();

@@ -65,7 +65,9 @@ impl Matrix {
     /// rows have differing lengths.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(LinalgError::invalid("from_rows requires a non-empty matrix"));
+            return Err(LinalgError::invalid(
+                "from_rows requires a non-empty matrix",
+            ));
         }
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -195,9 +197,9 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -260,7 +262,12 @@ impl Add<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -277,7 +284,12 @@ impl Sub<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -351,7 +363,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

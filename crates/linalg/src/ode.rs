@@ -40,7 +40,7 @@ pub fn rk4_integrate(
     if steps == 0 {
         return Err(LinalgError::invalid("rk4 requires at least one step"));
     }
-    if !(t1 > t0) {
+    if t1 <= t0 || t1.is_nan() || t0.is_nan() {
         return Err(LinalgError::invalid(format!(
             "rk4 requires t1 > t0, got t0={t0}, t1={t1}"
         )));
@@ -88,8 +88,15 @@ mod tests {
 
     #[test]
     fn exponential_decay() {
-        let y = rk4_integrate(0.0, 2.0, &[3.0], 200, |_, y, dy| dy[0] = -0.5 * y[0], |_, _| {})
-            .unwrap();
+        let y = rk4_integrate(
+            0.0,
+            2.0,
+            &[3.0],
+            200,
+            |_, y, dy| dy[0] = -0.5 * y[0],
+            |_, _| {},
+        )
+        .unwrap();
         let exact = 3.0 * (-1.0_f64).exp();
         assert!((y[0] - exact).abs() < 1e-9);
     }
@@ -116,7 +123,15 @@ mod tests {
     #[test]
     fn observer_sees_every_step() {
         let mut count = 0;
-        rk4_integrate(0.0, 1.0, &[0.0], 17, |_, _, dy| dy[0] = 1.0, |_, _| count += 1).unwrap();
+        rk4_integrate(
+            0.0,
+            1.0,
+            &[0.0],
+            17,
+            |_, _, dy| dy[0] = 1.0,
+            |_, _| count += 1,
+        )
+        .unwrap();
         assert_eq!(count, 17);
     }
 

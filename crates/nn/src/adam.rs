@@ -36,6 +36,8 @@ pub struct Adam {
     /// Per-parameter step counts (bias correction is per parameter so that
     /// freezing and later unfreezing behaves sensibly).
     steps: Vec<u64>,
+    /// Optional global-norm gradient clipping threshold.
+    max_grad_norm: Option<f64>,
 }
 
 impl Adam {
@@ -66,7 +68,31 @@ impl Adam {
             eps,
             moments: Vec::new(),
             steps: Vec::new(),
+            max_grad_norm: None,
         }
+    }
+
+    /// Enables (or, with `None`, disables) global-norm gradient clipping.
+    ///
+    /// Before each [`Adam::step`], the L2 norm of all non-frozen, finite
+    /// gradients is computed jointly; when it exceeds `max_norm` every
+    /// gradient is scaled by `max_norm / norm`. This is the standard guard
+    /// against exploding log-det gradients early in flow training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_norm` is `Some` but not finite and positive.
+    pub fn with_max_grad_norm(mut self, max_norm: Option<f64>) -> Self {
+        if let Some(m) = max_norm {
+            assert!(m.is_finite() && m > 0.0, "max_grad_norm must be positive");
+        }
+        self.max_grad_norm = max_norm;
+        self
+    }
+
+    /// The global-norm clipping threshold, if enabled.
+    pub fn max_grad_norm(&self) -> Option<f64> {
+        self.max_grad_norm
     }
 
     /// Current learning rate.
@@ -87,8 +113,27 @@ impl Adam {
     /// Applies one Adam update to every non-frozen parameter in `grads`.
     ///
     /// Gradients with non-finite entries are skipped defensively (a diverged
-    /// batch then simply does not move the parameters).
+    /// batch then simply does not move the parameters). When
+    /// [`Adam::with_max_grad_norm`] is set, all participating gradients are
+    /// first rescaled so their joint L2 norm does not exceed the threshold.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        // Global-norm clipping factor over the gradients that will be applied.
+        let clip = match self.max_grad_norm {
+            Some(max_norm) => {
+                let sq_sum: f64 = grads
+                    .iter()
+                    .filter(|(id, grad)| !store.is_frozen(*id) && grad.is_finite())
+                    .map(|(_, grad)| grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+                    .sum();
+                let norm = sq_sum.sqrt();
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
         for (id, grad) in grads {
             if store.is_frozen(*id) || !grad.is_finite() {
                 continue;
@@ -111,7 +156,7 @@ impl Adam {
             let bc1 = 1.0 - b1.powf(t);
             let bc2 = 1.0 - b2.powf(t);
             for k in 0..param.len() {
-                let gk = grad.as_slice()[k];
+                let gk = clip * grad.as_slice()[k];
                 let mk = &mut m.as_mut_slice()[k];
                 *mk = b1 * *mk + (1.0 - b1) * gk;
                 let vk = &mut v.as_mut_slice()[k];
@@ -178,6 +223,57 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_bad_lr() {
         let _ = Adam::new(-0.1);
+    }
+
+    #[test]
+    fn clips_exploding_gradients_by_global_norm() {
+        // A 3-4-0 gradient pair has global norm 5; with max_norm 1 the
+        // effective gradient is scaled by 1/5 on every component.
+        let mut store = ParamStore::new();
+        let a = store.add(Tensor::scalar(0.0));
+        let b = store.add(Tensor::from_row(&[0.0, 0.0]));
+        let grads = vec![
+            (a, Tensor::scalar(3.0e6)),
+            (b, Tensor::from_row(&[4.0e6, 0.0])),
+        ];
+
+        let mut clipped = Adam::new(0.1).with_max_grad_norm(Some(1.0));
+        let mut unclipped = Adam::new(0.1);
+        let mut store2 = store.clone();
+        clipped.step(&mut store, &grads);
+        unclipped.step(&mut store2, &grads);
+
+        // Both move downhill; the first Adam step size is ~lr either way,
+        // but the second-moment state must reflect the *clipped* gradient.
+        for (opt, st, label) in [(&clipped, &store, "clipped"), (&unclipped, &store2, "raw")] {
+            assert!(st.get(a).item() < 0.0, "{label} should move");
+            let _ = opt;
+        }
+        let m_clipped = clipped.moments[a.index()].as_ref().unwrap().0.item();
+        let m_raw = unclipped.moments[a.index()].as_ref().unwrap().0.item();
+        assert!((m_clipped - 0.1 * 0.6).abs() < 1e-12, "m = {m_clipped}");
+        assert!(m_raw > 1e5, "raw first moment should be huge: {m_raw}");
+        // Zero-component stays untouched in both.
+        assert_eq!(store.get(b).as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn frozen_params_do_not_count_toward_clip_norm() {
+        let mut store = ParamStore::new();
+        let frozen = store.add(Tensor::scalar(0.0));
+        let live = store.add(Tensor::scalar(0.0));
+        store.set_frozen(frozen, true);
+        let grads = vec![
+            (frozen, Tensor::scalar(1.0e9)), // must not inflate the norm
+            (live, Tensor::scalar(0.5)),
+        ];
+        let mut opt = Adam::new(0.1).with_max_grad_norm(Some(1.0));
+        opt.step(&mut store, &grads);
+        // Live gradient (norm 0.5 < 1) is NOT scaled: first moment is
+        // exactly (1 - beta1) * 0.5.
+        let m = opt.moments[live.index()].as_ref().unwrap().0.item();
+        assert!((m - 0.05).abs() < 1e-12, "m = {m}");
+        assert_eq!(store.get(frozen).item(), 0.0);
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl Mlp {
         rng: &mut impl Rng,
         zero_output: bool,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         assert!(dims.iter().all(|&d| d > 0), "all MLP dims must be positive");
         let hidden_init = match activation {
             Activation::Tanh | Activation::Sigmoid => Init::Xavier,
@@ -149,7 +152,11 @@ impl Mlp {
     ///
     /// Convenience for inference-heavy callers (e.g. the SIR baseline
     /// evaluating millions of surrogate samples).
-    pub fn predict(&self, store: &ParamStore, x: &nofis_autograd::Tensor) -> nofis_autograd::Tensor {
+    pub fn predict(
+        &self,
+        store: &ParamStore,
+        x: &nofis_autograd::Tensor,
+    ) -> nofis_autograd::Tensor {
         let mut g = Graph::new();
         let xv = g.constant(x.clone());
         let y = self.forward(store, &mut g, xv);

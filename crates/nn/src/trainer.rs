@@ -169,7 +169,11 @@ impl Classifier {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(x.rows() > 0, "cannot fit a classifier on an empty dataset");
-        assert_eq!(labels.len(), x.rows(), "label length must match sample count");
+        assert_eq!(
+            labels.len(),
+            x.rows(),
+            "label length must match sample count"
+        );
 
         let mut dims = vec![x.cols()];
         dims.extend_from_slice(hidden);
@@ -243,7 +247,9 @@ mod tests {
             .map(|_| rand::Rng::gen_range(&mut data_rng, -1.0..1.0))
             .collect();
         let x = Tensor::from_vec(256, 2, data);
-        let y: Vec<f64> = (0..256).map(|r| 3.0 * x[(r, 0)] - x[(r, 1)] + 0.5).collect();
+        let y: Vec<f64> = (0..256)
+            .map(|r| 3.0 * x[(r, 0)] - x[(r, 1)] + 0.5)
+            .collect();
         let model = Regressor::fit(&x, &y, &[16, 16], TrainConfig::default(), &mut rng);
         let pred = model.predict_one(&[0.5, -0.5]);
         assert!((pred - (1.5 + 0.5 + 0.5)).abs() < 0.25, "pred={pred}");
@@ -288,6 +294,12 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn regressor_rejects_empty() {
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = Regressor::fit(&Tensor::zeros(0, 2), &[], &[4], TrainConfig::default(), &mut rng);
+        let _ = Regressor::fit(
+            &Tensor::zeros(0, 2),
+            &[],
+            &[4],
+            TrainConfig::default(),
+            &mut rng,
+        );
     }
 }

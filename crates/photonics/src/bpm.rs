@@ -105,9 +105,7 @@ impl BpmSolver {
         let nx = config.nx;
         let dx = 2.0 * config.x_extent / (nx - 1) as f64;
         let dz = geometry.length() / config.nz as f64;
-        let xs: Vec<f64> = (0..nx)
-            .map(|i| -config.x_extent + i as f64 * dx)
-            .collect();
+        let xs: Vec<f64> = (0..nx).map(|i| -config.x_extent + i as f64 * dx).collect();
 
         let absorber: Vec<f64> = xs
             .iter()
@@ -135,9 +133,7 @@ impl BpmSolver {
         // Gaussian launch normalized to unit power.
         let mut launch: Vec<Complex64> = xs
             .iter()
-            .map(|&x| {
-                Complex64::from_real((-(x / config.launch_width).powi(2)).exp())
-            })
+            .map(|&x| Complex64::from_real((-(x / config.launch_width).powi(2)).exp()))
             .collect();
         let p0: f64 = launch.iter().map(|u| u.abs_sq()).sum();
         let norm = 1.0 / p0.sqrt();
@@ -181,7 +177,12 @@ impl BpmSolver {
         z: f64,
         params: &[f64],
         dn2_dw: Option<&mut Vec<f64>>,
-    ) -> (Vec<Complex64>, Vec<Complex64>, Vec<Complex64>, Vec<Complex64>) {
+    ) -> (
+        Vec<Complex64>,
+        Vec<Complex64>,
+        Vec<Complex64>,
+        Vec<Complex64>,
+    ) {
         let nx = self.config.nx;
         let off = -self.lap_coeff / (self.dx * self.dx);
         let n0sq = self.geometry.n_clad() * self.geometry.n_clad();
@@ -214,10 +215,7 @@ impl BpmSolver {
         let a_off = half * off;
         let a_lower = vec![a_off; nx];
         let a_upper = vec![a_off; nx];
-        let a_diag: Vec<Complex64> = h_diag
-            .iter()
-            .map(|&h| Complex64::ONE + half * h)
-            .collect();
+        let a_diag: Vec<Complex64> = h_diag.iter().map(|&h| Complex64::ONE + half * h).collect();
         (a_lower, a_diag, a_upper, h_diag)
     }
 
@@ -404,7 +402,10 @@ mod tests {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| {
-                    (a.1 - target).abs().partial_cmp(&(b.1 - target).abs()).unwrap()
+                    (a.1 - target)
+                        .abs()
+                        .partial_cmp(&(b.1 - target).abs())
+                        .unwrap()
                 })
                 .map(|(i, _)| i)
                 .unwrap();

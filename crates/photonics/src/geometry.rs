@@ -150,8 +150,8 @@ impl YBranch {
             let sr = smooth_step(tr);
             inds[k] = sl * sr;
             // d/d(half_w): left edge moves out (+), right edge moves out (+).
-            dinds[k] = (smooth_step_deriv(tl) * sr + sl * smooth_step_deriv(tr))
-                / self.edge_softness;
+            dinds[k] =
+                (smooth_step_deriv(tl) * sr + sl * smooth_step_deriv(tr)) / self.edge_softness;
         }
         if self.centers(z).0 == self.centers(z).1 {
             // Arms coincide (input section): a single guide.
@@ -191,10 +191,7 @@ impl YBranch {
         let (ind, dind) = self.indicator(xpos, z, half_w);
         let (nc2, ncl2) = (self.n_core * self.n_core, self.n_clad * self.n_clad);
         let dw_active = if raw > 0.05 { 1.0 } else { 0.0 };
-        (
-            ncl2 + (nc2 - ncl2) * ind,
-            (nc2 - ncl2) * dind * dw_active,
-        )
+        (ncl2 + (nc2 - ncl2) * ind, (nc2 - ncl2) * dind * dw_active)
     }
 
     /// The per-mode deformation basis value `σ sin(π j z / L)` for mode

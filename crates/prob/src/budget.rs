@@ -1,0 +1,189 @@
+//! Hard simulator-call budgets.
+//!
+//! Rare-event pipelines must never silently overrun their simulation
+//! budget: a production run that was promised `B` simulator calls has to
+//! stop at `B`, degrade gracefully, and report how far it got. A
+//! [`BudgetedOracle`] wraps any [`LimitState`] (typically a
+//! [`CountingOracle`](crate::CountingOracle), so external accounting still
+//! sees every call) and meters consumption against a fixed budget. Callers
+//! plan each chunk of work with [`BudgetedOracle::grant`], which truncates
+//! the request to what is affordable instead of letting the work overrun.
+
+use crate::LimitState;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`LimitState`] wrapper enforcing a hard simulator-call budget.
+///
+/// The oracle counts every `value`/`value_grad` invocation. Consumers are
+/// expected to reserve work via [`BudgetedOracle::grant`] *before* spending
+/// calls; any call made beyond the budget is recorded in
+/// [`BudgetedOracle::overruns`] so tests can assert the cooperative
+/// protocol was honored (the call still delegates to the wrapped limit
+/// state rather than panicking — budget violations must degrade loudly,
+/// not abort).
+///
+/// # Example
+///
+/// ```
+/// use nofis_prob::{BudgetedOracle, CountingOracle, LimitState};
+///
+/// struct Sphere;
+/// impl LimitState for Sphere {
+///     fn dim(&self) -> usize { 2 }
+///     fn value(&self, x: &[f64]) -> f64 { x[0] * x[0] + x[1] * x[1] - 1.0 }
+/// }
+///
+/// let counting = CountingOracle::new(&Sphere);
+/// let budgeted = BudgetedOracle::new(&counting, 3);
+/// assert_eq!(budgeted.grant(2), 2);   // plan a 2-call chunk
+/// let _ = budgeted.value(&[0.0, 0.0]);
+/// let _ = budgeted.value(&[1.0, 1.0]);
+/// assert_eq!(budgeted.remaining(), 1);
+/// assert_eq!(budgeted.grant(5), 1);   // truncated, not overrun
+/// let _ = budgeted.value(&[0.5, 0.5]);
+/// assert!(budgeted.is_exhausted());
+/// assert_eq!(budgeted.overruns(), 0);
+/// assert_eq!(counting.calls(), 3);    // outer accounting still exact
+/// ```
+#[derive(Debug)]
+pub struct BudgetedOracle<'a, T: LimitState + ?Sized> {
+    inner: &'a T,
+    budget: u64,
+    used: AtomicU64,
+}
+
+impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
+    /// Wraps `inner` with a hard budget of `budget` simulator calls.
+    pub fn new(inner: &'a T, budget: u64) -> Self {
+        BudgetedOracle {
+            inner,
+            budget,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// The total call budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Calls consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Calls still affordable (0 when exhausted).
+    pub fn remaining(&self) -> u64 {
+        self.budget.saturating_sub(self.used())
+    }
+
+    /// Whether the budget is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Truncates a planned chunk of `want` calls to what the remaining
+    /// budget affords. Returns the affordable count (possibly 0) without
+    /// consuming anything; consumption happens as calls are made.
+    pub fn grant(&self, want: usize) -> usize {
+        (want as u64).min(self.remaining()) as usize
+    }
+
+    /// Calls made *beyond* the budget (0 when every consumer planned its
+    /// chunks with [`BudgetedOracle::grant`]).
+    pub fn overruns(&self) -> u64 {
+        self.used().saturating_sub(self.budget)
+    }
+
+    /// Borrows the wrapped limit state without counting.
+    pub fn inner(&self) -> &'a T {
+        self.inner
+    }
+}
+
+impl<T: LimitState + ?Sized> LimitState for BudgetedOracle<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.used.fetch_add(1, Ordering::Relaxed);
+        self.inner.value(x)
+    }
+
+    fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        // One simulation, like CountingOracle: sensitivities ride along.
+        self.used.fetch_add(1, Ordering::Relaxed);
+        self.inner.value_grad(x)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountingOracle;
+
+    struct Linear;
+    impl LimitState for Linear {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            x[0] - x[1]
+        }
+        fn name(&self) -> &str {
+            "linear"
+        }
+    }
+
+    #[test]
+    fn grant_truncates_to_remaining() {
+        let b = BudgetedOracle::new(&Linear, 10);
+        assert_eq!(b.grant(4), 4);
+        for _ in 0..7 {
+            let _ = b.value(&[0.0, 0.0]);
+        }
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.grant(100), 3);
+        assert_eq!(b.grant(2), 2);
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn counts_value_and_grad_as_one_each() {
+        let b = BudgetedOracle::new(&Linear, 5);
+        let _ = b.value(&[1.0, 0.0]);
+        let _ = b.value_grad(&[1.0, 0.0]);
+        assert_eq!(b.used(), 2);
+        assert_eq!(b.name(), "linear");
+        assert_eq!(b.dim(), 2);
+    }
+
+    #[test]
+    fn overruns_are_recorded_not_panicked() {
+        let b = BudgetedOracle::new(&Linear, 1);
+        let _ = b.value(&[0.0, 0.0]);
+        assert!(b.is_exhausted());
+        // A misbehaving consumer that skipped grant() still gets an answer,
+        // but the violation is visible.
+        let v = b.value(&[2.0, 0.0]);
+        assert_eq!(v, 2.0);
+        assert_eq!(b.overruns(), 1);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn stacks_on_counting_oracle() {
+        let counting = CountingOracle::new(&Linear);
+        let budgeted = BudgetedOracle::new(&counting, 100);
+        for _ in 0..12 {
+            let _ = budgeted.value(&[0.0, 0.0]);
+        }
+        assert_eq!(budgeted.used(), 12);
+        assert_eq!(counting.calls(), 12);
+    }
+}

@@ -58,7 +58,11 @@ impl AnyOf {
         }
         let name = format!(
             "any-of({})",
-            members.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+            members
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         Ok(AnyOf { members, dim, name })
     }

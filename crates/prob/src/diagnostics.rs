@@ -47,11 +47,18 @@ impl WeightDiagnostics {
             log_weights.iter().all(|w| !w.is_nan()),
             "NaN log-weight encountered"
         );
-        let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max_lw = log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let scaled: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
         let sum: f64 = scaled.iter().sum();
         let sum_sq: f64 = scaled.iter().map(|w| w * w).sum();
-        let ess = if sum_sq > 0.0 { sum * sum / sum_sq } else { 0.0 };
+        let ess = if sum_sq > 0.0 {
+            sum * sum / sum_sq
+        } else {
+            0.0
+        };
         let max_share = scaled.iter().copied().fold(0.0_f64, f64::max) / sum.max(1e-300);
 
         let hill = if log_weights.len() >= 10 {
@@ -80,11 +87,22 @@ impl WeightDiagnostics {
     }
 
     /// A conservative health verdict: `true` when the weights show no
-    /// infinite-variance symptoms (tail index ≥ 2 when estimable, no
-    /// single weight above 50% of the mass).
+    /// infinite-variance symptoms — no single weight above 50% of the
+    /// mass, and a tail index ≥ 2 when estimable. An estimated index in
+    /// `[1, 2)` is borderline (finite mean, possibly infinite variance) and
+    /// the Hill estimator is noisy at typical sample sizes, so the realized
+    /// effective sample size adjudicates: at least 5% of nominal passes.
+    /// An index below 1 (infinite mean) always fails.
     pub fn looks_healthy(&self) -> bool {
-        let tail_ok = self.hill_tail_index.map(|a| a >= 2.0).unwrap_or(true);
-        tail_ok && self.max_weight_share < 0.5
+        if self.max_weight_share >= 0.5 {
+            return false;
+        }
+        match self.hill_tail_index {
+            None => true,
+            Some(a) if a >= 2.0 => true,
+            Some(a) if a >= 1.0 => self.effective_sample_size >= 0.05 * self.count as f64,
+            Some(_) => false,
+        }
     }
 }
 

@@ -157,20 +157,30 @@ impl Extend<f64> for RunningStats {
     }
 }
 
-/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` by sorting a copy,
-/// using linear interpolation between order statistics.
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` by sorting a copy
+/// (with [`f64::total_cmp`]), using linear interpolation between order
+/// statistics.
 ///
 /// Used by adaptive level selection (SUS and NOFIS's automatic threshold
 /// schedule).
 ///
+/// **NaN handling:** a broken simulator can return NaN scores, and the
+/// adaptive schedule must not crash on them. NaN entries are filtered out
+/// before the quantile is computed, so the result is the quantile of the
+/// valid observations. If *every* entry is NaN the function returns NaN —
+/// callers that cannot tolerate this should check `is_nan()` on the result.
+///
 /// # Panics
 ///
-/// Panics if `values` is empty, contains NaN, or `q` is outside `[0, 1]`.
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of an empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -210,7 +220,9 @@ mod tests {
 
     #[test]
     fn running_stats_welford() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
@@ -244,6 +256,17 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_rejects_empty() {
         let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn quantile_filters_nan() {
+        // NaN scores from a broken simulator are skipped, not fatal.
+        let v = [f64::NAN, 1.0, f64::NAN, 3.0];
+        assert_eq!(quantile(&v, 0.5), 2.0);
+        assert!(quantile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+        // Infinities are legitimate order statistics and survive total_cmp.
+        let w = [f64::INFINITY, 0.0, f64::NEG_INFINITY];
+        assert_eq!(quantile(&w, 0.5), 0.0);
     }
 
     #[test]

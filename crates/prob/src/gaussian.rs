@@ -47,7 +47,9 @@ impl StandardGaussian {
 
     /// Draws `n` samples as a flat row-major `n x dim` buffer.
     pub fn sample_flat(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
-        (0..n * self.dim).map(|_| rng.sample(StandardNormal)).collect()
+        (0..n * self.dim)
+            .map(|_| rng.sample(StandardNormal))
+            .collect()
     }
 
     /// Log density `ln p(x)`.
@@ -68,7 +70,11 @@ impl StandardGaussian {
     ///
     /// Panics if `x.len() != self.dim()` or `s <= 0`.
     pub fn log_density_scaled(&self, x: &[f64], s: f64) -> f64 {
-        assert_eq!(x.len(), self.dim, "dimension mismatch in log_density_scaled");
+        assert_eq!(
+            x.len(),
+            self.dim,
+            "dimension mismatch in log_density_scaled"
+        );
         assert!(s > 0.0, "scale must be positive");
         let sq: f64 = x.iter().map(|v| v * v).sum();
         -0.5 * (self.dim as f64) * (LN_2PI + 2.0 * s.ln()) - 0.5 * sq / (s * s)
@@ -156,7 +162,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -248,15 +254,21 @@ mod tests {
         assert!((normal_cdf(3.0) - 0.998_650_101_968_369_9).abs() < 1e-12);
         // Deep tail: Φ(-6) ≈ 9.865876e-10.
         let tail = normal_cdf(-6.0);
-        assert!((tail / 9.865_876_450_376_946e-10 - 1.0).abs() < 1e-8, "tail={tail}");
+        assert!(
+            (tail / 9.865_876_450_376_946e-10 - 1.0).abs() < 1e-8,
+            "tail={tail}"
+        );
     }
 
     #[test]
     fn quantile_inverts_cdf() {
         for &p in &[1e-9, 1e-6, 0.001, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-9] {
             let x = normal_quantile(p);
-            assert!((normal_cdf(x) - p).abs() < 1e-11 * (1.0 + 1.0 / p.min(1.0 - p) * 1e-3),
-                "p={p}, x={x}, cdf={}", normal_cdf(x));
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-11 * (1.0 + 1.0 / p.min(1.0 - p) * 1e-3),
+                "p={p}, x={x}, cdf={}",
+                normal_cdf(x)
+            );
         }
     }
 

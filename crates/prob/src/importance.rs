@@ -29,6 +29,64 @@ impl Proposal for StandardGaussian {
     }
 }
 
+/// Which rung of the guarded estimation fallback ladder produced an
+/// estimate.
+///
+/// A trusted estimator descends this ladder only when
+/// [`WeightDiagnostics`](crate::WeightDiagnostics) flags the previous rung
+/// as degenerate: the learned final proposal first, then an earlier-stage
+/// proposal, then a defensive mixture `α·p + (1−α)·q` whose weights are
+/// bounded by `1/α`, and finally plain Monte Carlo, which is always
+/// unbiased but has no variance reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FallbackRung {
+    /// The primary (final trained) proposal was used directly.
+    FinalProposal,
+    /// An earlier stage proposal `q_{mK}` was substituted (1-based stage).
+    StageProposal {
+        /// The stage whose proposal produced the estimate.
+        stage: usize,
+    },
+    /// A defensive mixture `α·p + (1−α)·q` of the base and the final
+    /// proposal was substituted.
+    DefensiveMixture {
+        /// Base-distribution mixing weight `α` (weights bounded by `1/α`).
+        alpha: f64,
+    },
+    /// Plain Monte Carlo under the base distribution `p`.
+    PlainMonteCarlo,
+}
+
+impl FallbackRung {
+    /// Position on the ladder (0 = primary proposal, 3 = plain MC).
+    pub fn rank(&self) -> usize {
+        match self {
+            FallbackRung::FinalProposal => 0,
+            FallbackRung::StageProposal { .. } => 1,
+            FallbackRung::DefensiveMixture { .. } => 2,
+            FallbackRung::PlainMonteCarlo => 3,
+        }
+    }
+
+    /// Whether any fallback was engaged (anything past the primary rung).
+    pub fn is_fallback(&self) -> bool {
+        self.rank() > 0
+    }
+}
+
+impl std::fmt::Display for FallbackRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackRung::FinalProposal => write!(f, "final proposal"),
+            FallbackRung::StageProposal { stage } => write!(f, "stage-{stage} proposal"),
+            FallbackRung::DefensiveMixture { alpha } => {
+                write!(f, "defensive mixture (alpha = {alpha})")
+            }
+            FallbackRung::PlainMonteCarlo => write!(f, "plain Monte Carlo"),
+        }
+    }
+}
+
 /// Outcome of an importance-sampling estimation (Eq. 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IsResult {
@@ -40,6 +98,18 @@ pub struct IsResult {
     /// Kish effective sample size of the failure-region weights; a small
     /// value relative to `hits` warns of weight degeneracy.
     pub effective_sample_size: f64,
+    /// Which proposal actually produced this estimate. Direct calls to
+    /// [`importance_sampling`] always report
+    /// [`FallbackRung::FinalProposal`]; guarded estimators overwrite this
+    /// when they descend the ladder.
+    pub rung: FallbackRung,
+}
+
+impl IsResult {
+    /// Returns the same result tagged with the given ladder rung.
+    pub fn with_rung(self, rung: FallbackRung) -> Self {
+        IsResult { rung, ..self }
+    }
 }
 
 /// Importance-sampling estimate of `P[g(x) ≤ threshold]` under the standard
@@ -99,11 +169,16 @@ pub fn importance_sampling(
         }
     }
     let estimate = sum_w / n as f64;
-    let ess = if sum_w2 > 0.0 { sum_w * sum_w / sum_w2 } else { 0.0 };
+    let ess = if sum_w2 > 0.0 {
+        sum_w * sum_w / sum_w2
+    } else {
+        0.0
+    };
     IsResult {
         estimate,
         hits,
         effective_sample_size: ess,
+        rung: FallbackRung::FinalProposal,
     }
 }
 
@@ -142,12 +217,17 @@ pub fn importance_sampling_detailed(
         }
     }
     let estimate = sum_w / n as f64;
-    let ess = if sum_w2 > 0.0 { sum_w * sum_w / sum_w2 } else { 0.0 };
+    let ess = if sum_w2 > 0.0 {
+        sum_w * sum_w / sum_w2
+    } else {
+        0.0
+    };
     (
         IsResult {
             estimate,
             hits: log_weights.len() as u64,
             effective_sample_size: ess,
+            rung: FallbackRung::FinalProposal,
         },
         log_weights,
     )

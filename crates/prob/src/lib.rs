@@ -38,7 +38,9 @@
 
 #![deny(missing_docs)]
 
+mod budget;
 mod composite;
+mod defensive;
 mod diagnostics;
 mod estimate;
 mod gaussian;
@@ -46,12 +48,15 @@ mod importance;
 mod limit_state;
 mod mixture;
 
+pub use budget::BudgetedOracle;
 pub use composite::AnyOf;
+pub use defensive::DefensiveMixture;
 pub use diagnostics::WeightDiagnostics;
 pub use estimate::{log_error, quantile, ProbabilityEstimate, RunningStats, ESTIMATE_FLOOR};
 pub use gaussian::{erfc, normal_cdf, normal_quantile, StandardGaussian, LN_2PI};
 pub use importance::{
-    importance_sampling, importance_sampling_detailed, monte_carlo, IsResult, McResult, Proposal,
+    importance_sampling, importance_sampling_detailed, monte_carlo, FallbackRung, IsResult,
+    McResult, Proposal,
 };
 pub use limit_state::{CountingOracle, LimitState};
 pub use mixture::GaussianMixture;

@@ -7,7 +7,7 @@
 //! which bounds the importance weights by the inverse mixture weight and
 //! guarantees finite variance.
 
-use crate::{Proposal, StandardGaussian, LN_2PI};
+use crate::{Proposal, LN_2PI};
 use rand::{Rng, RngCore};
 use rand_distr::StandardNormal;
 
@@ -56,7 +56,7 @@ impl GaussianMixture {
             if mean.len() != dim {
                 return Err("inconsistent component dimensions".into());
             }
-            if !(*w > 0.0) || !(*std > 0.0) {
+            if *w <= 0.0 || w.is_nan() || *std <= 0.0 || std.is_nan() {
                 return Err("weights and stds must be positive".into());
             }
         }
@@ -174,7 +174,7 @@ impl RngCore for RngShim<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{importance_sampling, normal_cdf, LimitState};
+    use crate::{importance_sampling, normal_cdf, LimitState, StandardGaussian};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -224,13 +224,8 @@ mod tests {
                 d1.min(d2) - 1.0
             }
         }
-        let q = GaussianMixture::base_plus_centers(
-            2,
-            0.2,
-            &[vec![3.5, 0.0], vec![-3.5, 0.0]],
-            0.7,
-        )
-        .unwrap();
+        let q = GaussianMixture::base_plus_centers(2, 0.2, &[vec![3.5, 0.0], vec![-3.5, 0.0]], 0.7)
+            .unwrap();
         let p = StandardGaussian::new(2);
         let mut rng = StdRng::seed_from_u64(0);
         let r = importance_sampling(&TwoDisks, 0.0, &q, &p, 20_000, &mut rng);
@@ -246,11 +241,7 @@ mod tests {
 
     #[test]
     fn sampling_respects_weights() {
-        let q = GaussianMixture::new(vec![
-            (0.9, vec![-5.0], 0.5),
-            (0.1, vec![5.0], 0.5),
-        ])
-        .unwrap();
+        let q = GaussianMixture::new(vec![(0.9, vec![-5.0], 0.5), (0.1, vec![5.0], 0.5)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let n = 5_000;
         let right = (0..n)
@@ -264,7 +255,9 @@ mod tests {
     fn rejects_invalid_mixtures() {
         assert!(GaussianMixture::new(vec![]).is_err());
         assert!(GaussianMixture::new(vec![(1.0, vec![], 1.0)]).is_err());
-        assert!(GaussianMixture::new(vec![(0.5, vec![0.0], 1.0), (0.5, vec![0.0, 0.0], 1.0)]).is_err());
+        assert!(
+            GaussianMixture::new(vec![(0.5, vec![0.0], 1.0), (0.5, vec![0.0, 0.0], 1.0)]).is_err()
+        );
         assert!(GaussianMixture::new(vec![(-1.0, vec![0.0], 1.0)]).is_err());
         assert!(GaussianMixture::new(vec![(0.2, vec![0.0], 1.0)]).is_err());
         assert!(GaussianMixture::base_plus_centers(2, 1.5, &[vec![0.0, 0.0]], 1.0).is_err());

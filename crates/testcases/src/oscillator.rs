@@ -124,21 +124,25 @@ impl LimitState for Oscillator {
         let dhalf_dm = -(omega / (2.0 * m)) * t1 / 2.0;
         let dhalf_dc = (omega / (2.0 * k)) * t1 / 2.0;
         let dpeak_dm = (2.0 * f1 / k) * sign_s * half.cos() * dhalf_dm;
-        let dpeak_dc = -(2.0 * f1 / (k * k)) * s.abs()
-            + (2.0 * f1 / k) * sign_s * half.cos() * dhalf_dc;
+        let dpeak_dc =
+            -(2.0 * f1 / (k * k)) * s.abs() + (2.0 * f1 / k) * sign_s * half.cos() * dhalf_dc;
 
         let dphys = [
-            -dpeak_dm,   // dg/dm
-            -dpeak_dc,   // dg/dc1
-            -dpeak_dc,   // dg/dc2
-            3.0,         // dg/dr
-            -dpeak_df1,  // dg/df1
-            -dpeak_dt1,  // dg/dt1
+            -dpeak_dm,  // dg/dm
+            -dpeak_dc,  // dg/dc1
+            -dpeak_dc,  // dg/dc2
+            3.0,        // dg/dr
+            -dpeak_df1, // dg/df1
+            -dpeak_dt1, // dg/dt1
         ];
         let mut grad = vec![0.0; 6];
         for i in 0..6 {
             let (mu, sigma) = PARAMS[i];
-            let active = if mu + sigma * x[i] > 0.05 * mu { 1.0 } else { 0.0 };
+            let active = if mu + sigma * x[i] > 0.05 * mu {
+                1.0
+            } else {
+                0.0
+            };
             grad[i] = 10.0 * dphys[i] * sigma * active;
         }
         (10.0 * g, grad)

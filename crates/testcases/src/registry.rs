@@ -1,6 +1,8 @@
 //! Registry of the ten quantitative test cases of Table 1.
 
-use crate::{ChargePump, Cube, Leaf, Levy, NeuralNet, Opamp, Oscillator, Powell, Rosen, YBranchCase};
+use crate::{
+    ChargePump, Cube, Leaf, Levy, NeuralNet, Opamp, Oscillator, Powell, Rosen, YBranchCase,
+};
 use nofis_prob::LimitState;
 
 /// A boxed, thread-safe limit state.

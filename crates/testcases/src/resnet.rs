@@ -87,13 +87,17 @@ impl NeuralNet {
         let b3 = sample(1, 1, 0.1);
         let probe = sample(PROBE, IN_DIM, 1.0);
         // Mask: the first DIM entries of W1 in row-major order.
-        let mask = Tensor::from_fn(IN_DIM, H1, |r, c| {
-            if r * H1 + c < Self::DIM {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let mask = Tensor::from_fn(
+            IN_DIM,
+            H1,
+            |r, c| {
+                if r * H1 + c < Self::DIM {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let mut case = NeuralNet {
             w1,
             b1,

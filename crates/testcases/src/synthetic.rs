@@ -98,17 +98,20 @@ impl LimitState for Cube {
     }
 
     fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
-        let (argmin, min) = x
-            .iter()
-            .copied()
-            .enumerate()
-            .fold((0, f64::INFINITY), |acc, (i, v)| {
-                if v < acc.1 {
-                    (i, v)
-                } else {
-                    acc
-                }
-            });
+        let (argmin, min) =
+            x.iter()
+                .copied()
+                .enumerate()
+                .fold(
+                    (0, f64::INFINITY),
+                    |acc, (i, v)| {
+                        if v < acc.1 {
+                            (i, v)
+                        } else {
+                            acc
+                        }
+                    },
+                );
         let mut grad = vec![0.0; x.len()];
         grad[argmin] = -1.0;
         (self.corner - min, grad)
@@ -229,8 +232,7 @@ impl Levy {
             let a = (w[i] - 1.0).powi(2);
             let b = 1.0 + 10.0 * s * s;
             f += a * b;
-            grad_w[i] += 2.0 * (w[i] - 1.0) * b
-                + a * 20.0 * s * (PI * w[i] + 1.0).cos() * PI;
+            grad_w[i] += 2.0 * (w[i] - 1.0) * b + a * 20.0 * s * (PI * w[i] + 1.0).cos() * PI;
         }
         let s = (2.0 * PI * w[n - 1]).sin();
         let a = (w[n - 1] - 1.0).powi(2);
@@ -414,10 +416,10 @@ mod tests {
     #[test]
     fn thresholded_cases_are_rare_near_origin() {
         // The origin must be safe for every synthetic case.
-        assert!(Rosen::default().value(&vec![0.0; 10]) > 0.0);
-        assert!(Levy::default().value(&vec![0.0; 20]) > 0.0);
+        assert!(Rosen::default().value(&[0.0; 10]) > 0.0);
+        assert!(Levy::default().value(&[0.0; 20]) > 0.0);
         assert!(Powell::default().value(&vec![0.0; 40]) > 0.0);
-        assert!(Cube::new().value(&vec![0.0; 6]) > 0.0);
+        assert!(Cube::new().value(&[0.0; 6]) > 0.0);
     }
 
     #[test]

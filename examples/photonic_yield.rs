@@ -35,8 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solver = BpmSolver::new(YBranch::new(26), BpmConfig::default());
     let nominal = solver.run(&vec![0.0; 26])?;
     let deformed = solver.run(&vec![1.5; 26])?;
-    println!("nominal  T = {:.3}  |{}|", nominal.transmission, sparkline(&nominal.output_magnitude));
-    println!("deformed T = {:.3}  |{}|", deformed.transmission, sparkline(&deformed.output_magnitude));
+    println!(
+        "nominal  T = {:.3}  |{}|",
+        nominal.transmission,
+        sparkline(&nominal.output_magnitude)
+    );
+    println!(
+        "deformed T = {:.3}  |{}|",
+        deformed.transmission,
+        sparkline(&deformed.output_magnitude)
+    );
 
     // 2. Yield estimation on the registered test case (coarser grid).
     let case = YBranchCase::default();
@@ -59,16 +67,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(3);
-    let trained = Nofis::new(config)?.train(&oracle, &mut rng);
-    let (result, diagnostics) = trained.estimate_with_diagnostics(&oracle, 400, &mut rng);
+    let trained = Nofis::new(config)?.train(&oracle, &mut rng)?;
+    let (result, diagnostics) = trained.estimate_with_diagnostics(&oracle, 400, &mut rng)?;
 
-    println!("\nNOFIS estimate : {:.3e}  ({} calls)", result.estimate, oracle.calls());
-    println!("IS hits / ESS  : {} / {:.1}", result.hits, result.effective_sample_size);
+    println!(
+        "\nNOFIS estimate : {:.3e}  ({} calls)",
+        result.estimate,
+        oracle.calls()
+    );
+    println!(
+        "IS hits / ESS  : {} / {:.1}",
+        result.hits, result.effective_sample_size
+    );
     match diagnostics {
         Some(d) => {
             println!(
                 "weight health  : max share {:.2}, tail index {:?}, healthy = {}",
-                d.max_weight_share, d.hill_tail_index, d.looks_healthy()
+                d.max_weight_share,
+                d.hill_tail_index,
+                d.looks_healthy()
             );
             if !d.looks_healthy() {
                 println!("  → the proposal under-covers the failure region; treat the estimate as a lower bound and cross-check with SUS");

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nofis = Nofis::new(config)?;
 
     // 3. Train the flow and estimate.
-    let (trained, result) = nofis.run(&oracle, &mut rng);
+    let (trained, result) = nofis.run(&oracle, &mut rng)?;
     let nofis_calls = oracle.calls();
 
     println!("NOFIS");

@@ -46,9 +46,19 @@ impl SramMargin {
         let half = ckt.node();
         ckt.voltage_source(vdd, Node::GROUND, 1.2);
         ckt.resistor(vdd, sn, r1);
-        ckt.mosfet(sn, sn, Node::GROUND, MosParams::nmos(w1, 1e-6, vth1, 120e-6, 0.03));
+        ckt.mosfet(
+            sn,
+            sn,
+            Node::GROUND,
+            MosParams::nmos(w1, 1e-6, vth1, 120e-6, 0.03),
+        );
         ckt.resistor(sn, half, r2);
-        ckt.mosfet(half, half, Node::GROUND, MosParams::nmos(w2, 1e-6, vth2, 120e-6, 0.03));
+        ckt.mosfet(
+            half,
+            half,
+            Node::GROUND,
+            MosParams::nmos(w2, 1e-6, vth2, 120e-6, 0.03),
+        );
 
         let dc = ckt.dc_solve().expect("latch bench solves");
         dc.voltage(sn)
@@ -100,8 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(7);
-    let (trained, result) = Nofis::new(config)?.run(&oracle, &mut rng);
-    println!("\nNOFIS estimate : {:.3e}  ({} calls)", result.estimate, oracle.calls());
+    let (trained, result) = Nofis::new(config)?.run(&oracle, &mut rng)?;
+    println!(
+        "\nNOFIS estimate : {:.3e}  ({} calls)",
+        result.estimate,
+        oracle.calls()
+    );
     println!("learned levels : {:?}", trained.levels());
 
     // Cross-check with subset simulation.
@@ -109,7 +123,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sus = SusEstimator::new(3_000, 0.1, 8);
     let mut rng2 = StdRng::seed_from_u64(8);
     let p_sus = sus.estimate(&oracle2, &mut rng2);
-    println!("SUS cross-check: {:.3e}  ({} calls)", p_sus, oracle2.calls());
+    println!(
+        "SUS cross-check: {:.3e}  ({} calls)",
+        p_sus,
+        oracle2.calls()
+    );
 
     if result.estimate > 0.0 && p_sus > 0.0 {
         let ratio = result.estimate / p_sus;

@@ -59,7 +59,8 @@ fn run(ls: &(impl LimitState + ?Sized), levels: Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(5);
     let trained = Nofis::new(config)
         .expect("valid config")
-        .train(&ls, &mut rng);
+        .train(&ls, &mut rng)
+        .expect("training failed");
 
     let p = StandardGaussian::new(2);
     let base = raster(|x, y| p.log_density(&[x, y]).exp());

@@ -56,7 +56,8 @@ fn nofis_matches_analytic_tail_in_4d() {
     let mut rng = StdRng::seed_from_u64(99);
     let (_, result) = Nofis::new(small_config(4))
         .expect("valid config")
-        .run(&oracle, &mut rng);
+        .run(&oracle, &mut rng)
+        .expect("run succeeds");
     let err = log_error(result.estimate, golden);
     assert!(
         err < 0.8,
@@ -71,7 +72,8 @@ fn nofis_and_sus_agree_on_shared_event() {
     let mut rng = StdRng::seed_from_u64(4);
     let (_, nofis_result) = Nofis::new(small_config(4))
         .expect("valid config")
-        .run(&ls, &mut rng);
+        .run(&ls, &mut rng)
+        .expect("run succeeds");
     let sus = SusEstimator::new(2_000, 0.1, 8);
     let mut rng2 = StdRng::seed_from_u64(5);
     let p_sus = sus.estimate(&ls, &mut rng2);
@@ -99,8 +101,14 @@ fn call_accounting_matches_configuration() {
     let budget = cfg.training_budget() + 333;
     let oracle = CountingOracle::new(&ls);
     let mut rng = StdRng::seed_from_u64(0);
-    let _ = Nofis::new(cfg).expect("valid config").run(&oracle, &mut rng);
+    let (trained, result) = Nofis::new(cfg)
+        .expect("valid config")
+        .run(&oracle, &mut rng)
+        .expect("run succeeds");
     assert_eq!(oracle.calls(), budget);
+    // A healthy run accepts the final proposal and reports clean stages.
+    assert!(!result.rung.is_fallback(), "rung: {}", result.rung);
+    assert!(trained.stage_reports().iter().all(|r| !r.truncated));
 }
 
 #[test]
@@ -111,7 +119,8 @@ fn frozen_training_leaves_earlier_stage_distribution_usable() {
     let mut rng = StdRng::seed_from_u64(21);
     let trained = Nofis::new(small_config(3))
         .expect("valid config")
-        .train(&ls, &mut rng);
+        .train(&ls, &mut rng)
+        .expect("training succeeds");
     for stage in 1..=trained.stages() {
         let proposal = trained.stage_proposal(stage);
         let res = 80;

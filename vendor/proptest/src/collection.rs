@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::distributions::uniform::SampleRange;
+use rand::rngs::StdRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s whose length is drawn from a range and whose
+/// elements come from an inner strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors with lengths in `size`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.clone().sample_single(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

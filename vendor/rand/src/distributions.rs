@@ -1,0 +1,130 @@
+//! Sampling distributions and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the entropy source.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "standard" distribution: `f64` uniform on `[0, 1)`, integers uniform
+/// over their full domain, `bool` fair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that supports single-value uniform sampling.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = self.start + (self.end - self.start) * u;
+            // Floating-point rounding can land exactly on `end`; step back.
+            if v >= self.end {
+                self.end - (self.end - self.start) * f64::EPSILON
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + (hi - lo) * u
+        }
+    }
+
+    /// Draws uniformly from `[0, span)` without modulo bias.
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! int_range_impls {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = self.end.abs_diff(self.start) as u64;
+                    let off = uniform_below(rng, span);
+                    ((self.start as i128) + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = hi.abs_diff(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = uniform_below(rng, span + 1);
+                    ((lo as i128) + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_impls!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+}

@@ -1,0 +1,224 @@
+//! Minimal, self-contained reimplementation of the subset of the `rand` 0.8
+//! API that this workspace uses.
+//!
+//! The build environment is fully offline (no crates.io access), so the
+//! workspace vendors the handful of external crates it needs. This crate is
+//! **not** the upstream `rand`: it provides the same names and signatures for
+//! the calls the workspace makes (`StdRng::seed_from_u64`, `Rng::gen`,
+//! `Rng::gen_range`, `Rng::sample`, `SliceRandom::shuffle`, …) backed by a
+//! deterministic xoshiro256++ generator. It is adequate for Monte Carlo
+//! estimation and tests; it makes no cryptographic claims.
+
+#![deny(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use std::fmt;
+
+/// Error type carried by [`RngCore::try_fill_bytes`].
+///
+/// The vendored generators are infallible, so this is only ever constructed
+/// by downstream adapters that need to surface their own failures.
+#[derive(Debug)]
+pub struct Error {
+    message: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(message: &'static str) -> Self {
+        Error { message }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of random bits.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure instead of
+    /// panicking. The vendored generators never fail.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Convenience methods layered on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 and builds the
+    /// generator from it. Deterministic across runs and platforms.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut sm);
+            let bytes = x.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5..1.5);
+            assert!((-2.5..1.5).contains(&v));
+            let k = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&k));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn boxed_dyn_rng_works() {
+        let mut rng: Box<dyn RngCore> = Box::new(StdRng::seed_from_u64(5));
+        let u: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn mean_of_uniform_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+    }
+}

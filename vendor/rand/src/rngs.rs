@@ -1,0 +1,64 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Upstream `rand` backs `StdRng` with ChaCha12; this vendored stand-in uses
+/// xoshiro256++ (Blackman & Vigna), which passes BigCrush and is more than
+/// adequate for Monte Carlo work. It is explicitly **not** cryptographic.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(word);
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is a fixed point of xoshiro; remap it.
+            let mut sm = 0x9e37_79b9_7f4a_7c15u64;
+            for w in &mut s {
+                *w = crate::splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}

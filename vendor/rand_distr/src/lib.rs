@@ -1,0 +1,65 @@
+//! Minimal vendored stand-in for `rand_distr` 0.4: just the pieces this
+//! workspace uses (`StandardNormal` and the [`Distribution`] trait
+//! re-export). See the vendored `rand` crate for why this exists.
+
+#![deny(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// The standard normal distribution `N(0, 1)` over `f64`.
+///
+/// Sampling uses the Box–Muller transform; each draw consumes two uniform
+/// deviates and returns one normal deviate (no cached spare, so the
+/// distribution stays stateless like upstream's).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+        let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z: f64 = rng.sample(StandardNormal);
+            assert!(z.is_finite());
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 100_000;
+        let beyond_2 = (0..n)
+            .filter(|_| {
+                let z: f64 = rng.sample(StandardNormal);
+                z > 2.0
+            })
+            .count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(Z > 2) ≈ 0.02275.
+        assert!((frac - 0.02275).abs() < 0.004, "frac {frac}");
+    }
+}

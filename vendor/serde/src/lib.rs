@@ -1,0 +1,190 @@
+//! Minimal vendored stand-in for `serde`, providing exactly what this
+//! workspace needs: a [`Serialize`] trait that renders a value as JSON into
+//! a string buffer, and (behind the `derive` feature) a `#[derive(Serialize)]`
+//! macro for structs with named fields. The build environment is offline, so
+//! the real serde cannot be fetched; this keeps the public surface
+//! (`serde::Serialize`, `serde_json::to_string`) source-compatible for the
+//! code in this repository.
+
+#![deny(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A type that can render itself as JSON.
+///
+/// This intentionally collapses serde's `Serializer` abstraction: the only
+/// consumer in this workspace is `serde_json`, so values write JSON text
+/// directly into a `String`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out)
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Shortest round-trippable representation, always with enough
+            // precision to reconstruct the value.
+            let mut s = format!("{self}");
+            if s.parse::<f64>() != Ok(*self) {
+                s = format!("{self:e}");
+            }
+            out.push_str(&s);
+        } else {
+            // JSON has no NaN/Inf; mirror the lenient encoders that emit null.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out)
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render_as_json() {
+        let mut out = String::new();
+        1.5f64.serialize_json(&mut out);
+        out.push(',');
+        42usize.serialize_json(&mut out);
+        out.push(',');
+        true.serialize_json(&mut out);
+        out.push(',');
+        "a\"b".serialize_json(&mut out);
+        assert_eq!(out, "1.5,42,true,\"a\\\"b\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        f64::NAN.serialize_json(&mut out);
+        out.push(',');
+        f64::INFINITY.serialize_json(&mut out);
+        assert_eq!(out, "null,null");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let mut out = String::new();
+        vec![vec![1u32, 2], vec![3]].serialize_json(&mut out);
+        assert_eq!(out, "[[1,2],[3]]");
+        let mut out = String::new();
+        Option::<f64>::None.serialize_json(&mut out);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for v in [0.1, 1e-300, -3.25e17, 123456789.123456] {
+            let mut out = String::new();
+            v.serialize_json(&mut out);
+            assert_eq!(out.parse::<f64>().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! `#[derive(Serialize)]` for the vendored stand-in `serde` crate.
+//!
+//! Supports structs with named fields (the only shape this workspace
+//! derives). Written against `proc_macro` directly — no `syn`/`quote`,
+//! since the build environment is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-writing trait) for a
+/// struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility ahead of `struct`.
+    let name = loop {
+        match tokens.get(i) {
+            None => return Err("expected `struct`".to_string()),
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    _ => return Err("expected struct name".to_string()),
+                }
+            }
+            _ => i += 1,
+        }
+    };
+
+    // Find the brace-delimited field block (skipping any generics, which
+    // this workspace does not use on serialized types).
+    let fields_group = tokens
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("#[derive(Serialize)] on `{name}`: only structs with named fields are supported"))?;
+
+    let fields = named_fields(fields_group)?;
+
+    let mut body = String::from("out.push('{');\n");
+    for (idx, field) in fields.iter().enumerate() {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    let impl_src = format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn serialize_json(&self, out: &mut ::std::string::String) {{\n        {body}\n    }}\n}}\n"
+    );
+    impl_src
+        .parse()
+        .map_err(|e| format!("serde_derive internal error: {e:?}"))
+}
+
+/// Extracts field names from the token stream of a named-field block.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // `pub(crate)` etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in struct fields: {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}` (tuple structs unsupported)")),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma (track angle depth so
+        // commas inside generics do not split fields).
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}

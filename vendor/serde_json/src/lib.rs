@@ -1,0 +1,114 @@
+//! Minimal vendored stand-in for `serde_json`: `to_string` and
+//! `to_string_pretty` over the vendored `serde::Serialize` trait. Encoding
+//! never fails (non-finite floats encode as `null`), so the `Result` wrapper
+//! exists purely for source compatibility with the real crate.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// JSON encoding error (never produced by this vendored encoder; kept for
+/// signature compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indents a compact JSON document. Assumes valid JSON input, which is
+/// what `to_string` produces.
+fn prettify(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(close);
+                    chars.next();
+                } else {
+                    indent += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = vec![1.0f64, 2.5];
+        assert_eq!(to_string(&v).unwrap(), "[1,2.5]");
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_strings() {
+        let mut obj = String::new();
+        obj.push_str("{\"a\":[1,2],\"b\":\"x{,}y\",\"c\":{}}");
+        // Pretty-print the raw document through the same path a struct takes.
+        let pretty = prettify(&obj);
+        assert!(pretty.contains("\"a\": [\n"));
+        assert!(pretty.contains("\"x{,}y\""), "{pretty}");
+        assert!(pretty.contains("\"c\": {}"), "{pretty}");
+    }
+}
