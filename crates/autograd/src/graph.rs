@@ -347,6 +347,51 @@ impl Graph {
         self.push(out, Op::External { input: a, grads })
     }
 
+    /// Parallel variant of [`Graph::external_rowwise`] for thread-safe
+    /// row functions.
+    ///
+    /// Rows are evaluated in fixed-size chunks across `pool`; results land
+    /// in row order, so the tape recorded here is bitwise identical to the
+    /// one [`Graph::external_rowwise`] would record for the same `f`,
+    /// regardless of the pool's thread count. This is the entry point the
+    /// NOFIS training loop uses for limit-state oracle evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a gradient whose length differs from `D`.
+    pub fn external_rowwise_par(
+        &mut self,
+        a: Var,
+        pool: &nofis_parallel::ThreadPool,
+        f: impl Fn(&[f64]) -> (f64, Vec<f64>) + Sync,
+    ) -> Var {
+        /// Rows per chunk — fixed so chunk boundaries never depend on the
+        /// thread count.
+        const ROW_CHUNK: usize = 16;
+
+        let (n, d) = self.value(a).shape();
+        let input = self.value(a);
+        let n_chunks = nofis_parallel::chunks::chunk_count(n, ROW_CHUNK);
+        let per_chunk: Vec<Vec<(f64, Vec<f64>)>> = pool.map_chunks(n_chunks, |ci| {
+            let (start, end) = nofis_parallel::chunks::chunk_range(n, ROW_CHUNK, ci);
+            (start..end).map(|r| f(input.row(r))).collect()
+        });
+
+        let mut out = Tensor::zeros(n, 1);
+        let mut grads = Tensor::zeros(n, d);
+        for (r, (v, grad)) in per_chunk.into_iter().flatten().enumerate() {
+            assert_eq!(
+                grad.len(),
+                d,
+                "external gradient has length {} but input has {d} columns",
+                grad.len()
+            );
+            out[(r, 0)] = v;
+            grads.row_mut(r).copy_from_slice(&grad);
+        }
+        self.push(out, Op::External { input: a, grads })
+    }
+
     /// Runs reverse-mode differentiation from the scalar `loss` node.
     ///
     /// Gradients accumulate on every node reachable from `loss`; read them

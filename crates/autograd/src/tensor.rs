@@ -184,29 +184,39 @@ impl Tensor {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Large products run row-partitioned on the process-wide
+    /// [`nofis_parallel::global`] pool with bitwise-identical results to
+    /// the serial kernel; small ones stay serial. This is the kernel behind
+    /// both the forward matmul op and its backward gradients.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.matmul_with(rhs, nofis_parallel::global())
+    }
+
+    /// Matrix product `self * rhs` executed on an explicit pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(&self, rhs: &Tensor, pool: &nofis_parallel::ThreadPool) -> Tensor {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul of {}x{} by {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Tensor::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.data[i * self.cols + k];
-                if aik == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += aik * b;
-                }
-            }
-        }
+        nofis_parallel::kernels::matmul_into(
+            pool,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         out
     }
 

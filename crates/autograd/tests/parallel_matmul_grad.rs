@@ -1,0 +1,101 @@
+//! Gradient-checks the matmul op against finite differences with the
+//! parallel kernel engaged, including non-square shapes and shapes
+//! straddling the parallel size threshold.
+//!
+//! The global pool is pinned to 4 threads up front, so `Graph::matmul` —
+//! forward *and* backward (`∂a = ḡ·bᵀ`, `∂b = aᵀ·ḡ`) — runs through the
+//! chunked parallel kernel wherever the shapes are large enough, and the
+//! finite-difference reference pins that its analytic gradients are still
+//! exact.
+
+use nofis_autograd::check::{max_rel_error, numeric_param_grads};
+use nofis_autograd::{Graph, ParamStore, Tensor};
+use nofis_parallel::kernels::PAR_FLOPS_THRESHOLD;
+
+fn fill(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Builds `loss(w) = mean(tanh(x·w)²)` for an `m x k` constant input and an
+/// `k x n` parameter, and compares analytic against numeric gradients.
+fn check_matmul_grad(m: usize, k: usize, n: usize) {
+    assert!(nofis_parallel::global().threads() >= 1);
+    let x = Tensor::from_vec(m, k, fill(m * k, 3 + (m * k) as u64));
+    let mut store = ParamStore::new();
+    let w = store.add(Tensor::from_vec(k, n, fill(k * n, 17 + (k * n) as u64)));
+
+    let analytic = {
+        let mut g = Graph::new();
+        let xv = g.constant(x.clone());
+        let wv = store.inject(&mut g, w);
+        let h = g.matmul(xv, wv);
+        let t = g.tanh(h);
+        let sq = g.square(t);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        g.param_grads().remove(0).1
+    };
+
+    let numeric = numeric_param_grads(
+        &mut store,
+        |s| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let wv = g.constant(s.get(w).clone());
+            let h = g.matmul(xv, wv);
+            let t = g.tanh(h);
+            let sq = g.square(t);
+            let loss = g.mean_all(sq);
+            g.value(loss).item()
+        },
+        1e-6,
+    )
+    .remove(0);
+
+    let err = max_rel_error(analytic.as_slice(), numeric.as_slice());
+    assert!(err < 1e-6, "({m}x{k})·({k}x{n}): max rel error {err}");
+}
+
+#[test]
+fn below_threshold_small_nonsquare() {
+    nofis_parallel::init_global(4);
+    // 4*3*2 = 24 flops: firmly on the serial fallback.
+    check_matmul_grad(4, 3, 2);
+}
+
+#[test]
+fn just_below_parallel_threshold() {
+    nofis_parallel::init_global(4);
+    // 64*32*31 = 63488 < 65536: the forward matmul stays serial, but the
+    // backward `aᵀ·ḡ` and `ḡ·bᵀ` products have their own shapes and may
+    // cross independently.
+    let (m, k, n) = (64, 32, 31);
+    assert!(m * k * n < PAR_FLOPS_THRESHOLD);
+    check_matmul_grad(m, k, n);
+}
+
+#[test]
+fn just_above_parallel_threshold() {
+    nofis_parallel::init_global(4);
+    // 64*32*33 = 67584 > 65536: the parallel row-partitioned kernel engages.
+    let (m, k, n) = (64, 32, 33);
+    assert!(m * k * n > PAR_FLOPS_THRESHOLD);
+    check_matmul_grad(m, k, n);
+}
+
+#[test]
+fn tall_nonsquare_above_threshold() {
+    nofis_parallel::init_global(4);
+    // Tall-skinny: many row blocks, few columns; 130*25*21 = 68250.
+    let (m, k, n) = (130, 25, 21);
+    assert!(m * k * n > PAR_FLOPS_THRESHOLD);
+    check_matmul_grad(m, k, n);
+}

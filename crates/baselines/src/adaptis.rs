@@ -95,7 +95,7 @@ impl RareEventEstimator for AdaptIsEstimator {
         "Adapt-IS"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let dim = limit_state.dim();
         let mut rng = rng_shim(rng);
         let mut proposal = DiagGaussian::standard(dim);

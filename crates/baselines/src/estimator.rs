@@ -12,7 +12,7 @@ pub trait RareEventEstimator {
     fn method_name(&self) -> &'static str;
 
     /// Estimates `P[g(x) ≤ 0]`.
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64;
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64;
 }
 
 #[cfg(test)]
@@ -24,7 +24,7 @@ mod tests {
         fn method_name(&self) -> &'static str {
             "trivial"
         }
-        fn estimate(&self, _: &dyn LimitState, _: &mut dyn RngCore) -> f64 {
+        fn estimate(&self, _: &(dyn LimitState + Sync), _: &mut dyn RngCore) -> f64 {
             0.5
         }
     }

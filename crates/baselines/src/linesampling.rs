@@ -38,7 +38,7 @@ impl LineSamplingEstimator {
     /// Finds the smallest `c ∈ (0, c_max]` with `g(z + c·α) ≤ 0` by coarse
     /// scan plus bisection; returns `None` if the line never fails.
     fn crossing(
-        limit_state: &dyn LimitState,
+        limit_state: &(dyn LimitState + Sync),
         z: &[f64],
         alpha: &[f64],
         max_iters: usize,
@@ -85,7 +85,7 @@ impl RareEventEstimator for LineSamplingEstimator {
         "LineSampling"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let dim = limit_state.dim();
         let base = StandardGaussian::new(dim);
         let mut rng = rng_shim(rng);

@@ -49,7 +49,7 @@ impl RareEventEstimator for McEstimator {
         "MC"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         monte_carlo(&limit_state, 0.0, self.samples, rng).estimate()
     }
 }

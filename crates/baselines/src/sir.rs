@@ -52,7 +52,7 @@ impl RareEventEstimator for SirEstimator {
         "SIR"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let dim = limit_state.dim();
         let base = StandardGaussian::new(dim);
         let mut rng_shim = crate::sus::rng_shim(rng);

@@ -69,7 +69,7 @@ impl RareEventEstimator for SssEstimator {
         "SSS"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let dim = limit_state.dim();
         let mut rng = rng_shim(rng);
         let mut points: Vec<(f64, f64)> = Vec::new(); // (scale, ln P_s)

@@ -47,7 +47,7 @@ impl RareEventEstimator for SucEstimator {
         "SUC"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let dim = limit_state.dim();
         let base = StandardGaussian::new(dim);
         let n = self.n_per_level;

@@ -82,7 +82,7 @@ impl RareEventEstimator for SusEstimator {
         "SUS"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let dim = limit_state.dim();
         let base = StandardGaussian::new(dim);
         let n = self.n_per_level;
@@ -204,7 +204,7 @@ impl RngCore for RngShim<'_> {
 /// Convenience: run SUS once with a fresh deterministic RNG (used by
 /// calibration tooling).
 pub fn sus_with_seed(
-    limit_state: &dyn LimitState,
+    limit_state: &(dyn LimitState + Sync),
     n_per_level: usize,
     max_levels: usize,
     seed: u64,

@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks of the normalizing-flow kernels: coupling
 //! transforms, full-flow sampling/density, and one NOFIS training step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use nofis_autograd::{Graph, ParamStore, Tensor};
 use nofis_flows::RealNvp;
+use nofis_parallel::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,5 +63,34 @@ fn bench_training_graph(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transform, bench_training_graph);
+/// Serial vs. parallel throughput of the shared matmul kernel at
+/// training-shaped sizes (batch x dim by dim x hidden). The 1-thread pool
+/// runs the identical code path, so the comparison isolates pure
+/// parallel speedup; determinism tests elsewhere pin that the outputs are
+/// bitwise equal.
+fn bench_parallel_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_serial_vs_parallel");
+    group.sample_size(20);
+    let serial = ThreadPool::new(1);
+    let par4 = ThreadPool::new(4);
+    for &(m, k, n) in &[(256usize, 64usize, 64usize), (512, 128, 128)] {
+        let a = Tensor::from_fn(m, k, |r, cc| ((r * k + cc) as f64 * 0.01).sin());
+        let b = Tensor::from_fn(k, n, |r, cc| ((r * n + cc) as f64 * 0.013).cos());
+        let shape = format!("{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("serial", &shape), &m, |be, _| {
+            be.iter(|| black_box(a.matmul_with(&b, &serial)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", &shape), &m, |be, _| {
+            be.iter(|| black_box(a.matmul_with(&b, &par4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_training_graph,
+    bench_parallel_matmul
+);
 criterion_main!(benches);

@@ -74,7 +74,7 @@ impl Ord for HeapF64 {
     }
 }
 
-fn calibrate_mc(ls: &dyn LimitState, samples: usize, target: f64, seed: u64) {
+fn calibrate_mc(ls: &(dyn LimitState + Sync), samples: usize, target: f64, seed: u64) {
     let base = StandardGaussian::new(ls.dim());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hits = 0u64;
@@ -140,7 +140,7 @@ fn calibrate_mc(ls: &dyn LimitState, samples: usize, target: f64, seed: u64) {
     println!("{msg}");
 }
 
-fn calibrate_sus(ls: &dyn LimitState, samples: usize) {
+fn calibrate_sus(ls: &(dyn LimitState + Sync), samples: usize) {
     let mut estimates = Vec::new();
     for seed in 0..5 {
         let p = sus_with_seed(ls, samples, 12, seed);

@@ -31,7 +31,7 @@ struct PanelResult {
 
 fn panel(
     name: &str,
-    ls: &(impl LimitState + ?Sized),
+    ls: &(impl LimitState + ?Sized + Sync),
     levels: Vec<f64>,
     res: usize,
     epochs: usize,

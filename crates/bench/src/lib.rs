@@ -59,7 +59,7 @@ impl RareEventEstimator for NofisEstimator {
         "NOFIS"
     }
 
-    fn estimate(&self, limit_state: &dyn LimitState, rng: &mut dyn RngCore) -> f64 {
+    fn estimate(&self, limit_state: &(dyn LimitState + Sync), rng: &mut dyn RngCore) -> f64 {
         let nofis = Nofis::new(self.config.clone()).expect("validated at construction");
         // Re-seed a concrete RNG from the caller's stream (the trainer
         // needs `impl Rng`).

@@ -87,6 +87,15 @@ pub struct NofisConfig {
     /// halved learning rate) after a divergent epoch before training fails
     /// with [`NofisError::TrainingDiverged`](crate::NofisError::TrainingDiverged).
     pub stage_retries: usize,
+    /// Worker threads for the parallel matmul and oracle-batch hot paths.
+    /// `None` (the default) uses the process default — the `NOFIS_THREADS`
+    /// environment variable when set, else
+    /// `std::thread::available_parallelism()`. The thread count never
+    /// affects results: see the determinism contract in `nofis_parallel`
+    /// and DESIGN.md §8. Note the process-wide pool is sized once, on first
+    /// use; [`Nofis::new`](crate::Nofis::new) records this preference, so
+    /// construct the estimator before anything else touches the pool.
+    pub threads: Option<usize>,
 }
 
 impl Default for NofisConfig {
@@ -110,6 +119,7 @@ impl Default for NofisConfig {
             max_calls: None,
             max_grad_norm: Some(100.0),
             stage_retries: 2,
+            threads: None,
         }
     }
 }
@@ -192,6 +202,9 @@ impl NofisConfig {
                     "max_grad_norm must be positive and finite when set",
                 ));
             }
+        }
+        if self.threads == Some(0) {
+            return Err(ConfigError::new("threads must be positive when set"));
         }
         Ok(())
     }
@@ -300,6 +313,10 @@ mod tests {
             },
             NofisConfig {
                 max_grad_norm: Some(f64::NAN),
+                ..base.clone()
+            },
+            NofisConfig {
+                threads: Some(0),
                 ..base.clone()
             },
         ] {

@@ -3,8 +3,9 @@ use nofis_autograd::{Graph, ParamStore, Tensor};
 use nofis_flows::RealNvp;
 use nofis_nn::Adam;
 use nofis_prob::{
-    importance_sampling_detailed, monte_carlo, quantile, BudgetedOracle, DefensiveMixture,
-    FallbackRung, IsResult, LimitState, Proposal, StandardGaussian, WeightDiagnostics, LN_2PI,
+    batch_values, importance_sampling_detailed, monte_carlo, quantile, BudgetedOracle,
+    DefensiveMixture, FallbackRung, IsResult, LimitState, Proposal, StandardGaussian,
+    WeightDiagnostics, LN_2PI,
 };
 use rand::Rng;
 
@@ -88,11 +89,19 @@ pub struct Nofis {
 impl Nofis {
     /// Creates an estimator from a validated configuration.
     ///
+    /// When [`NofisConfig::threads`] is set, the preference is recorded for
+    /// the process-wide `nofis_parallel` pool. The pool is sized on first
+    /// use, so construct the estimator before other parallel work runs; a
+    /// `NOFIS_THREADS` environment variable still takes precedence.
+    ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the configuration is invalid.
     pub fn new(config: NofisConfig) -> Result<Self, ConfigError> {
         config.validate()?;
+        if let Some(threads) = config.threads {
+            nofis_parallel::set_thread_override(threads);
+        }
         Ok(Nofis { config })
     }
 
@@ -125,7 +134,7 @@ impl Nofis {
     ///   final stage has completed at least one epoch.
     /// * [`NofisError::DegenerateProposal`] if an adaptive pilot batch
     ///   scores NaN on every sample.
-    pub fn train<L: LimitState + ?Sized>(
+    pub fn train<L: LimitState + ?Sized + Sync>(
         &self,
         limit_state: &L,
         rng: &mut impl Rng,
@@ -141,7 +150,7 @@ impl Nofis {
     /// # Errors
     ///
     /// Same as [`Nofis::train`].
-    pub fn train_within<L: LimitState + ?Sized>(
+    pub fn train_within<L: LimitState + ?Sized + Sync>(
         &self,
         oracle: &BudgetedOracle<'_, L>,
         rng: &mut impl Rng,
@@ -182,15 +191,20 @@ impl Nofis {
                             ));
                         }
                         let depth = stage * k;
-                        let mut gvals = Vec::with_capacity(granted);
-                        for _ in 0..granted {
-                            let x = if depth == 0 {
-                                base.sample(rng)
-                            } else {
-                                flow.sample(&store, depth, rng).0
-                            };
-                            gvals.push(oracle.value(&x));
-                        }
+                        // Draw serially (the rng is sequential), then score
+                        // the pilot batch across the pool — the granted
+                        // calls were planned above, and the batch values
+                        // come back in sample order.
+                        let xs: Vec<Vec<f64>> = (0..granted)
+                            .map(|_| {
+                                if depth == 0 {
+                                    base.sample(rng)
+                                } else {
+                                    flow.sample(&store, depth, rng).0
+                                }
+                            })
+                            .collect();
+                        let gvals = batch_values(oracle, &xs);
                         // `quantile` skips NaN scores; if the proposal only
                         // produces NaN there is nothing to schedule against.
                         let mut q = quantile(&gvals, *p0);
@@ -280,7 +294,7 @@ impl Nofis {
                         // "safely non-failing, zero gradient" so one broken
                         // subregion cannot poison the whole batch (the call
                         // still counts against the budget).
-                        let gvals = g.external_rowwise(z, |row| {
+                        let gvals = g.external_rowwise_par(z, nofis_parallel::global(), |row| {
                             let (v, grad) = oracle.value_grad(row);
                             if v.is_finite() && grad.iter().all(|gi| gi.is_finite()) {
                                 (v, grad)
@@ -395,7 +409,7 @@ impl Nofis {
     ///
     /// Same as [`Nofis::train`] plus the estimation errors of
     /// [`TrainedNofis::estimate_within`].
-    pub fn run<L: LimitState + ?Sized>(
+    pub fn run<L: LimitState + ?Sized + Sync>(
         &self,
         limit_state: &L,
         rng: &mut impl Rng,
@@ -480,7 +494,7 @@ impl TrainedNofis {
     /// # Errors
     ///
     /// See [`TrainedNofis::estimate_within`].
-    pub fn estimate<L: LimitState + ?Sized>(
+    pub fn estimate<L: LimitState + ?Sized + Sync>(
         &self,
         limit_state: &L,
         n_is: usize,
@@ -498,7 +512,7 @@ impl TrainedNofis {
     /// # Errors
     ///
     /// See [`TrainedNofis::estimate_within`].
-    pub fn estimate_with_diagnostics<L: LimitState + ?Sized>(
+    pub fn estimate_with_diagnostics<L: LimitState + ?Sized + Sync>(
         &self,
         limit_state: &L,
         n_is: usize,
@@ -532,7 +546,7 @@ impl TrainedNofis {
     ///   dimension does not match the trained flow.
     /// * [`NofisError::BudgetExhausted`] if not even the first rung could
     ///   draw a single sample.
-    pub fn estimate_within<L: LimitState + ?Sized>(
+    pub fn estimate_within<L: LimitState + ?Sized + Sync>(
         &self,
         oracle: &BudgetedOracle<'_, L>,
         n_is: usize,
@@ -651,7 +665,7 @@ impl TrainedNofis {
 /// Runs one ladder rung within the budget: `None` when not even one sample
 /// is affordable, otherwise the tagged result plus diagnostics over the
 /// finite log-weights.
-fn run_rung<L: LimitState + ?Sized, Q: Proposal + ?Sized>(
+fn run_rung<L: LimitState + ?Sized + Sync, Q: Proposal + ?Sized + Sync>(
     oracle: &BudgetedOracle<'_, L>,
     proposal: &Q,
     p: &StandardGaussian,

@@ -155,10 +155,28 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Large products are row-partitioned across the process-wide
+    /// [`nofis_parallel::global`] pool; small ones stay serial. Either way
+    /// the result is bitwise identical to the serial kernel (see the
+    /// determinism contract in `nofis_parallel`).
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.matmul_with(rhs, nofis_parallel::global())
+    }
+
+    /// Matrix product `self * rhs` executed on an explicit pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(
+        &self,
+        rhs: &Matrix,
+        pool: &nofis_parallel::ThreadPool,
+    ) -> Result<Matrix, LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::shape(format!(
                 "matmul of {}x{} by {}x{}",
@@ -166,19 +184,15 @@ impl Matrix {
             )));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
-                    *o += aik * b;
-                }
-            }
-        }
+        nofis_parallel::kernels::matmul_into(
+            pool,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         Ok(out)
     }
 

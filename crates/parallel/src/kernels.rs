@@ -1,0 +1,193 @@
+//! Shared numeric kernels executed on a [`ThreadPool`].
+//!
+//! The matmul kernel here is the single implementation behind both
+//! `nofis_linalg::Matrix::matmul` and `nofis_autograd::Tensor::matmul`.
+//! It is **row-partitioned**: each chunk owns a disjoint block of output
+//! rows, and each output row is computed by exactly the same inner loop the
+//! serial path uses. Because no accumulator is ever shared between chunks,
+//! the parallel result is bitwise identical to the serial one for any
+//! thread count — row partitioning needs no reduction at all.
+
+use crate::ThreadPool;
+
+/// Below this many multiply-adds (`m * k * n`), `matmul_into` stays serial:
+/// the dispatch overhead of even one channel send dwarfs the work.
+pub const PAR_FLOPS_THRESHOLD: usize = 64 * 1024;
+
+/// Output rows per parallel chunk. Chosen once, as a function of nothing:
+/// chunk boundaries must never depend on the thread count.
+pub const MATMUL_BLOCK_ROWS: usize = 8;
+
+/// Serial reference kernel: `out = a * b` for row-major buffers, where `a`
+/// is `m x k`, `b` is `k x n` and `out` is `m x n`.
+///
+/// The `aik == 0.0` skip is load-bearing for callers that multiply by
+/// sparse masks; the parallel kernel preserves it exactly.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths do not match the given dimensions.
+pub fn matmul_serial_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer length");
+    assert_eq!(b.len(), k * n, "rhs buffer length");
+    assert_eq!(out.len(), m * n, "out buffer length");
+    out.fill(0.0);
+    matmul_rows(a, b, out, 0, m, k, n);
+}
+
+/// Computes output rows `[row_start, row_start + rows)` of `a * b` into
+/// `out_rows` (which holds exactly those rows, row-major).
+fn matmul_rows(
+    a: &[f64],
+    b: &[f64],
+    out_rows: &mut [f64],
+    row_start: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for local_i in 0..rows {
+        let i = row_start + local_i;
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let out_row = &mut out_rows[local_i * n..(local_i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Blocked, row-partitioned parallel matmul: `out = a * b` with `a` being
+/// `m x k`, `b` being `k x n`, all row-major.
+///
+/// Falls back to the serial kernel when `m * k * n` is below
+/// [`PAR_FLOPS_THRESHOLD`] or the pool has a single lane. The result is
+/// bitwise identical to [`matmul_serial_into`] in every case.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths do not match the given dimensions.
+pub fn matmul_into(
+    pool: &ThreadPool,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer length");
+    assert_eq!(b.len(), k * n, "rhs buffer length");
+    assert_eq!(out.len(), m * n, "out buffer length");
+    if pool.threads() == 1 || m.saturating_mul(k).saturating_mul(n) < PAR_FLOPS_THRESHOLD {
+        out.fill(0.0);
+        matmul_rows(a, b, out, 0, m, k, n);
+        return;
+    }
+    out.fill(0.0);
+    // Each chunk is MATMUL_BLOCK_ROWS complete output rows (the final chunk
+    // may be shorter) — disjoint `&mut` slices of `out`, no reduction.
+    pool.for_each_chunk_mut(out, MATMUL_BLOCK_ROWS * n, |chunk_idx, out_rows| {
+        let row_start = chunk_idx * MATMUL_BLOCK_ROWS;
+        let rows = out_rows.len() / n;
+        matmul_rows(a, b, out_rows, row_start, rows, k, n);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (no RNG dependency in this crate).
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn naive(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn serial_kernel_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 8, 8), (17, 9, 23)] {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 13);
+            let mut out = vec![f64::NAN; m * n];
+            matmul_serial_into(&a, &b, &mut out, m, k, n);
+            let expect = naive(&a, &b, m, k, n);
+            for (x, y) in out.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bitwise_matches_serial_across_thread_counts() {
+        // Shapes straddling the threshold and not divisible by the block.
+        for &(m, k, n) in &[(4, 4, 4), (37, 19, 29), (64, 64, 64), (130, 33, 65)] {
+            let a = fill(m * k, 42);
+            let b = fill(k * n, 99);
+            let mut serial = vec![0.0; m * n];
+            matmul_serial_into(&a, &b, &mut serial, m, k, n);
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::new(threads);
+                let mut par = vec![f64::NAN; m * n];
+                matmul_into(&pool, &a, &b, &mut par, m, k, n);
+                for (x, y) in par.iter().zip(&serial) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({m}x{k}x{n}) threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skip_is_preserved() {
+        // A row of zeros in `a` must leave inf/nan in `b` untouched, exactly
+        // like the serial kernel's `aik == 0.0` skip.
+        let (m, k, n) = (130, 33, 65); // above threshold
+        let mut a = fill(m * k, 5);
+        for v in a[..k].iter_mut() {
+            *v = 0.0;
+        }
+        let mut b = fill(k * n, 6);
+        b[0] = f64::INFINITY;
+        let pool = ThreadPool::new(4);
+        let mut out = vec![f64::NAN; m * n];
+        matmul_into(&pool, &a, &b, &mut out, m, k, n);
+        assert!(out[..n].iter().all(|&v| v == 0.0), "zero row stays zero");
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![];
+        matmul_into(&pool, &[], &[], &mut out, 0, 0, 0);
+        assert!(out.is_empty());
+        let mut out = vec![0.0; 3];
+        matmul_into(&pool, &[2.0], &[1.0, 2.0, 3.0], &mut out, 1, 1, 3);
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+}

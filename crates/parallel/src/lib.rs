@@ -1,0 +1,155 @@
+//! Chunked thread-pool execution layer for the NOFIS hot paths.
+//!
+//! NOFIS spends nearly all of its wall-clock in two places: coupling-net
+//! matmuls during M-stage flow training, and limit-state oracle calls
+//! `g(x)` during sampling/estimation. Both are embarrassingly parallel
+//! across rows/samples. This crate provides the shared execution substrate:
+//!
+//! * [`ThreadPool`] — a small, work-stealing-free pool built from
+//!   `std::thread` and `std::sync::mpsc` channels only (consistent with the
+//!   workspace's vendored-offline dependency policy). Work is split into
+//!   *chunks*; idle workers claim whole chunks from a shared atomic cursor,
+//!   never from each other's queues.
+//! * [`chunks`] — chunk partitioning arithmetic and chunk-ordered
+//!   reductions. Chunk boundaries depend only on the workload size, never
+//!   on the thread count, so every reduction is **bitwise identical**
+//!   regardless of how many threads execute it.
+//! * [`kernels`] — a blocked, row-partitioned parallel `matmul` over
+//!   row-major `f64` buffers with a serial fallback below a size threshold;
+//!   the shared kernel behind both `nofis_linalg::Matrix::matmul` and
+//!   `nofis_autograd::Tensor::matmul` (forward *and* backward).
+//! * [`global`] / [`default_threads`] — a process-wide pool sized from (in
+//!   precedence order) the `NOFIS_THREADS` environment variable, an
+//!   explicit [`set_thread_override`] (wired to `NofisConfig::threads`),
+//!   or `std::thread::available_parallelism()`.
+//!
+//! # Determinism contract
+//!
+//! Every operation in this crate is deterministic in its *outputs*:
+//! results land in chunk-index-ordered slots and reductions sum partials
+//! in chunk order. Only the execution schedule (which worker runs which
+//! chunk, and when) varies between runs and thread counts. See DESIGN.md
+//! §8 for the workspace-wide contract and the test suite that locks it.
+//!
+//! # Example
+//!
+//! ```
+//! use nofis_parallel::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.map_chunks(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chunks;
+pub mod kernels;
+mod pool;
+
+pub use pool::ThreadPool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Unset sentinel for the explicit thread-count override.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The lazily built process-wide pool.
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Records an explicit thread-count preference (e.g. from
+/// `NofisConfig::threads`).
+///
+/// Returns `true` if the preference can still influence the global pool
+/// (i.e. [`global`] has not been called yet); once the global pool exists
+/// its size is fixed for the lifetime of the process and this call only
+/// updates the recorded preference. The `NOFIS_THREADS` environment
+/// variable, when set and valid, takes precedence over this override so
+/// operators and CI can pin the thread count from outside.
+///
+/// A zero `threads` clears the override.
+pub fn set_thread_override(threads: usize) -> bool {
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+    GLOBAL_POOL.get().is_none()
+}
+
+/// The currently recorded explicit override, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Parses `NOFIS_THREADS` (positive integer) from the environment.
+fn env_threads() -> Option<usize> {
+    std::env::var("NOFIS_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Resolves the default worker count: `NOFIS_THREADS` env var, else the
+/// explicit [`set_thread_override`], else `available_parallelism()`.
+pub fn default_threads() -> usize {
+    env_threads()
+        .or_else(thread_override)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Initializes the global pool with an explicit thread count, returning
+/// `true` when this call performed the initialization.
+///
+/// The first of `init_global` / [`global`] to run fixes the pool size for
+/// the process; later calls are no-ops returning `false`. Tests use this to
+/// pin the global pool before exercising code paths that reach it.
+pub fn init_global(threads: usize) -> bool {
+    let mut initialized = false;
+    GLOBAL_POOL.get_or_init(|| {
+        initialized = true;
+        ThreadPool::new(threads.max(1))
+    });
+    initialized
+}
+
+/// The process-wide shared pool, built on first use with
+/// [`default_threads`] workers.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn override_round_trip() {
+        // Note: global-pool interaction is covered by integration tests;
+        // here we only exercise the recorded preference.
+        set_thread_override(3);
+        assert_eq!(thread_override(), Some(3));
+        set_thread_override(0);
+        assert_eq!(thread_override(), None);
+    }
+
+    #[test]
+    fn global_pool_is_usable_and_stable() {
+        let p1 = global();
+        let out = p1.map_chunks(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        let p2 = global();
+        assert!(std::ptr::eq(p1, p2));
+        assert!(!init_global(17), "global pool already fixed");
+    }
+}

@@ -89,6 +89,42 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
         (want as u64).min(self.remaining()) as usize
     }
 
+    /// Atomically reserves up to `want` calls, *consuming* them from the
+    /// budget immediately, and returns how many were actually granted.
+    ///
+    /// Unlike [`BudgetedOracle::grant`] — which only inspects the remaining
+    /// budget and relies on a single consumer spending it afterwards —
+    /// `reserve` pre-charges `used`, so concurrent reservations can never
+    /// jointly exceed the budget. Parallel batch evaluation (see
+    /// [`batch_values_budgeted`](crate::batch_values_budgeted)) reserves
+    /// each chunk up front and then spends the reserved calls with
+    /// [`BudgetedOracle::value_prepaid`].
+    pub fn reserve(&self, want: usize) -> usize {
+        let want = want as u64;
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let granted = want.min(self.budget.saturating_sub(cur));
+            if granted == 0 {
+                return 0;
+            }
+            match self.used.compare_exchange(
+                cur,
+                cur + granted,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return granted as usize,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Evaluates the wrapped limit state without charging the budget; the
+    /// call must have been paid for via [`BudgetedOracle::reserve`].
+    pub(crate) fn value_prepaid(&self, x: &[f64]) -> f64 {
+        self.inner.value(x)
+    }
+
     /// Calls made *beyond* the budget (0 when every consumer planned its
     /// chunks with [`BudgetedOracle::grant`]).
     pub fn overruns(&self) -> u64 {

@@ -1,4 +1,7 @@
+use crate::batch::ORACLE_CHUNK;
 use crate::{LimitState, StandardGaussian};
+use nofis_parallel::chunks::{chunk_count, chunk_range};
+use nofis_parallel::ThreadPool;
 use rand::RngCore;
 
 /// A proposal distribution `q` that supports exact sampling and exact
@@ -142,44 +145,41 @@ impl IsResult {
 /// assert!((r.estimate - 0.1587).abs() < 0.02); // P[x >= 1] = 1 - Φ(1)
 /// ```
 pub fn importance_sampling(
-    limit_state: &(impl LimitState + ?Sized),
+    limit_state: &(impl LimitState + ?Sized + Sync),
     threshold: f64,
-    proposal: &(impl Proposal + ?Sized),
+    proposal: &(impl Proposal + ?Sized + Sync),
     p: &StandardGaussian,
     n: usize,
     rng: &mut dyn RngCore,
 ) -> IsResult {
-    assert!(n > 0, "importance sampling needs at least one sample");
-    assert_eq!(
-        proposal.dim(),
-        limit_state.dim(),
-        "proposal and limit state dimensions differ"
-    );
-    let mut sum_w = 0.0;
-    let mut sum_w2 = 0.0;
-    let mut hits = 0;
-    for _ in 0..n {
-        let x = proposal.sample(rng);
-        if limit_state.value(&x) <= threshold {
-            hits += 1;
-            let lw = p.log_density(&x) - proposal.log_density(&x);
-            let w = lw.exp();
-            sum_w += w;
-            sum_w2 += w * w;
-        }
-    }
-    let estimate = sum_w / n as f64;
-    let ess = if sum_w2 > 0.0 {
-        sum_w * sum_w / sum_w2
-    } else {
-        0.0
-    };
-    IsResult {
-        estimate,
-        hits,
-        effective_sample_size: ess,
-        rung: FallbackRung::FinalProposal,
-    }
+    importance_sampling_with_pool(
+        limit_state,
+        threshold,
+        proposal,
+        p,
+        n,
+        rng,
+        nofis_parallel::global(),
+    )
+}
+
+/// [`importance_sampling`] on an explicit pool.
+///
+/// # Panics
+///
+/// Same conditions as [`importance_sampling`].
+pub fn importance_sampling_with_pool(
+    limit_state: &(impl LimitState + ?Sized + Sync),
+    threshold: f64,
+    proposal: &(impl Proposal + ?Sized + Sync),
+    p: &StandardGaussian,
+    n: usize,
+    rng: &mut dyn RngCore,
+    pool: &ThreadPool,
+) -> IsResult {
+    let (result, _) =
+        importance_sampling_detailed_with_pool(limit_state, threshold, proposal, p, n, rng, pool);
+    result
 }
 
 /// Importance sampling like [`importance_sampling`], additionally
@@ -190,12 +190,44 @@ pub fn importance_sampling(
 ///
 /// Same conditions as [`importance_sampling`].
 pub fn importance_sampling_detailed(
-    limit_state: &(impl LimitState + ?Sized),
+    limit_state: &(impl LimitState + ?Sized + Sync),
     threshold: f64,
-    proposal: &(impl Proposal + ?Sized),
+    proposal: &(impl Proposal + ?Sized + Sync),
     p: &StandardGaussian,
     n: usize,
     rng: &mut dyn RngCore,
+) -> (IsResult, Vec<f64>) {
+    importance_sampling_detailed_with_pool(
+        limit_state,
+        threshold,
+        proposal,
+        p,
+        n,
+        rng,
+        nofis_parallel::global(),
+    )
+}
+
+/// [`importance_sampling_detailed`] on an explicit pool.
+///
+/// Samples are drawn serially from `rng` (sampling is cheap next to oracle
+/// calls, and this keeps the random stream identical to a serial run), then
+/// evaluated in fixed [`ORACLE_CHUNK`]-sized chunks across `pool`. The
+/// per-chunk partial sums `(Σw, Σw²)` are reduced in chunk order, so the
+/// estimate, hit count, ESS, and log-weight list are all bitwise identical
+/// for any thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`importance_sampling`].
+pub fn importance_sampling_detailed_with_pool(
+    limit_state: &(impl LimitState + ?Sized + Sync),
+    threshold: f64,
+    proposal: &(impl Proposal + ?Sized + Sync),
+    p: &StandardGaussian,
+    n: usize,
+    rng: &mut dyn RngCore,
+    pool: &ThreadPool,
 ) -> (IsResult, Vec<f64>) {
     assert!(n > 0, "importance sampling needs at least one sample");
     assert_eq!(
@@ -203,18 +235,32 @@ pub fn importance_sampling_detailed(
         limit_state.dim(),
         "proposal and limit state dimensions differ"
     );
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| proposal.sample(rng)).collect();
+    // One parallel pass per chunk: oracle call + log-weight for failures.
+    let partials: Vec<(f64, f64, Vec<f64>)> = pool.map_chunks(chunk_count(n, ORACLE_CHUNK), |ci| {
+        let (start, end) = chunk_range(n, ORACLE_CHUNK, ci);
+        let mut sum_w = 0.0;
+        let mut sum_w2 = 0.0;
+        let mut lws = Vec::new();
+        for x in &xs[start..end] {
+            if limit_state.value(x) <= threshold {
+                let lw = p.log_density(x) - proposal.log_density(x);
+                lws.push(lw);
+                let w = lw.exp();
+                sum_w += w;
+                sum_w2 += w * w;
+            }
+        }
+        (sum_w, sum_w2, lws)
+    });
+    // Chunk-ordered reduction: fixed addition order for any thread count.
     let mut log_weights = Vec::new();
     let mut sum_w = 0.0;
     let mut sum_w2 = 0.0;
-    for _ in 0..n {
-        let x = proposal.sample(rng);
-        if limit_state.value(&x) <= threshold {
-            let lw = p.log_density(&x) - proposal.log_density(&x);
-            log_weights.push(lw);
-            let w = lw.exp();
-            sum_w += w;
-            sum_w2 += w * w;
-        }
+    for (w, w2, lws) in partials {
+        sum_w += w;
+        sum_w2 += w2;
+        log_weights.extend(lws);
     }
     let estimate = sum_w / n as f64;
     let ess = if sum_w2 > 0.0 {
@@ -256,25 +302,46 @@ impl McResult {
 ///
 /// Panics if `n == 0`.
 pub fn monte_carlo(
-    limit_state: &(impl LimitState + ?Sized),
+    limit_state: &(impl LimitState + ?Sized + Sync),
     threshold: f64,
     n: usize,
     rng: &mut dyn RngCore,
 ) -> McResult {
+    monte_carlo_with_pool(limit_state, threshold, n, rng, nofis_parallel::global())
+}
+
+/// [`monte_carlo`] on an explicit pool. Samples are drawn serially from
+/// `rng` (identical stream to a serial run); oracle calls run chunked
+/// across the pool and the hit count is reduced in chunk order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn monte_carlo_with_pool(
+    limit_state: &(impl LimitState + ?Sized + Sync),
+    threshold: f64,
+    n: usize,
+    rng: &mut dyn RngCore,
+    pool: &ThreadPool,
+) -> McResult {
     assert!(n > 0, "Monte Carlo needs at least one sample");
-    let p = StandardGaussian::new(limit_state.dim());
-    let mut hits = 0;
-    let mut x = vec![0.0; p.dim()];
-    for _ in 0..n {
-        for v in &mut x {
-            *v = rand_distr::Distribution::sample(&rand_distr::StandardNormal, rng);
-        }
-        if limit_state.value(&x) <= threshold {
-            hits += 1;
-        }
-    }
+    let dim = limit_state.dim();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| rand_distr::Distribution::sample(&rand_distr::StandardNormal, rng))
+                .collect()
+        })
+        .collect();
+    let chunk_hits: Vec<u64> = pool.map_chunks(chunk_count(n, ORACLE_CHUNK), |ci| {
+        let (start, end) = chunk_range(n, ORACLE_CHUNK, ci);
+        xs[start..end]
+            .iter()
+            .filter(|x| limit_state.value(x) <= threshold)
+            .count() as u64
+    });
     McResult {
-        hits,
+        hits: chunk_hits.iter().sum(),
         samples: n as u64,
     }
 }

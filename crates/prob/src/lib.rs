@@ -38,6 +38,7 @@
 
 #![deny(missing_docs)]
 
+mod batch;
 mod budget;
 mod composite;
 mod defensive;
@@ -48,6 +49,7 @@ mod importance;
 mod limit_state;
 mod mixture;
 
+pub use batch::{batch_values, batch_values_budgeted, batch_values_with, ORACLE_CHUNK};
 pub use budget::BudgetedOracle;
 pub use composite::AnyOf;
 pub use defensive::DefensiveMixture;
@@ -55,7 +57,8 @@ pub use diagnostics::WeightDiagnostics;
 pub use estimate::{log_error, quantile, ProbabilityEstimate, RunningStats, ESTIMATE_FLOOR};
 pub use gaussian::{erfc, normal_cdf, normal_quantile, StandardGaussian, LN_2PI};
 pub use importance::{
-    importance_sampling, importance_sampling_detailed, monte_carlo, FallbackRung, IsResult,
+    importance_sampling, importance_sampling_detailed, importance_sampling_detailed_with_pool,
+    importance_sampling_with_pool, monte_carlo, monte_carlo_with_pool, FallbackRung, IsResult,
     McResult, Proposal,
 };
 pub use limit_state::{CountingOracle, LimitState};

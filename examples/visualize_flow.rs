@@ -46,7 +46,7 @@ fn rows(values: &[f64]) -> Vec<String> {
         .collect()
 }
 
-fn run(ls: &(impl LimitState + ?Sized), levels: Vec<f64>) {
+fn run(ls: &(impl LimitState + ?Sized + Sync), levels: Vec<f64>) {
     let config = NofisConfig {
         levels: Levels::Fixed(levels),
         layers_per_stage: 8,

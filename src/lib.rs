@@ -31,6 +31,7 @@ pub use nofis_core as core;
 pub use nofis_flows as flows;
 pub use nofis_linalg as linalg;
 pub use nofis_nn as nn;
+pub use nofis_parallel as parallel;
 pub use nofis_photonics as photonics;
 pub use nofis_prob as prob;
 pub use nofis_testcases as testcases;

@@ -1,0 +1,154 @@
+//! Golden-value regression tests for the RealNVP flow numerics.
+//!
+//! A fixed-seed flow is evaluated at fixed points and compared against
+//! checked-in constants, so any kernel change (including the parallel
+//! matmul path) that silently drifts the numerics fails loudly here. The
+//! constants were produced by this exact code; tolerances are a few ulps
+//! scaled (1e-12 relative), far below any legitimate refactoring noise
+//! but far above what an algorithmic change would produce.
+
+// Goldens are checked in at full 17-significant-digit round-trip precision
+// so they pin the exact f64 bit pattern, not a rounded neighborhood.
+#![allow(clippy::excessive_precision)]
+
+use nofis::autograd::ParamStore;
+use nofis::flows::RealNvp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fixed-seed flow under test: dim 4, 6 coupling layers, hidden 8,
+/// s_max 2.0, seeded init plus a seeded perturbation so the coupling nets
+/// are away from their (near-identity) initialization.
+fn golden_flow() -> (ParamStore, RealNvp) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let flow = RealNvp::new(&mut store, 4, 6, 8, 2.0, &mut rng);
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    let mut prng = StdRng::seed_from_u64(1334);
+    for id in ids {
+        for v in store.get_mut(id).as_mut_slice() {
+            *v += prng.gen_range(-0.3..0.3);
+        }
+    }
+    (store, flow)
+}
+
+const X: [f64; 4] = [0.3, -1.2, 0.7, 0.05];
+const X2: [f64; 4] = [-2.1, 0.4, 1.3, -0.8];
+
+fn assert_close(actual: f64, golden: f64, what: &str) {
+    let tol = 1e-12 * golden.abs().max(1.0);
+    assert!(
+        (actual - golden).abs() <= tol,
+        "{what}: got {actual:.17e}, golden {golden:.17e}"
+    );
+}
+
+/// Checked-in golden values for the depth-6 forward transform of `X`/`X2`.
+const GOLDEN_Z_X: [f64; 4] = [
+    8.86291292630788874e-1,
+    -2.37276219435049196e0,
+    1.46982625150391755e0,
+    -1.59112064566986511e-1,
+];
+const GOLDEN_LOGDET_X: f64 = 1.36990463621296188e0;
+const GOLDEN_LOGQ_X: f64 = -5.89556492375466146e0;
+const GOLDEN_Z3_X: [f64; 4] = [
+    6.27375545052917927e-1,
+    -2.86539793985904456e0,
+    2.21664499764896705e0,
+    1.57578045003655298e-1,
+];
+const GOLDEN_LOGDET3_X: f64 = 3.15346307247607971e0;
+
+const GOLDEN_Z_X2: [f64; 4] = [
+    -2.18897462521380159e0,
+    1.36027376358683116e0,
+    5.00509017638425258e-1,
+    -1.64514637039569900e0,
+];
+const GOLDEN_LOGDET_X2: f64 = -7.53189992641720263e-1;
+const GOLDEN_LOGQ_X2: f64 = -6.42727142838727339e0;
+const GOLDEN_Z3_X2: [f64; 4] = [
+    -2.41515317747567204e0,
+    2.39054689096059514e0,
+    4.07071483717245552e-1,
+    -1.40103952888165617e0,
+];
+const GOLDEN_LOGDET3_X2: f64 = 6.37464362665707496e-1;
+
+#[test]
+fn forward_transform_matches_goldens() {
+    let (store, flow) = golden_flow();
+    for (x, gz, gld) in [
+        (&X, &GOLDEN_Z_X, GOLDEN_LOGDET_X),
+        (&X2, &GOLDEN_Z_X2, GOLDEN_LOGDET_X2),
+    ] {
+        let (z, logdet) = flow.transform(&store, x, 6);
+        for (i, (&zi, &gi)) in z.iter().zip(gz.iter()).enumerate() {
+            assert_close(zi, gi, &format!("z[{i}] of {x:?}"));
+        }
+        assert_close(logdet, gld, &format!("logdet of {x:?}"));
+    }
+}
+
+#[test]
+fn partial_depth_transform_matches_goldens() {
+    let (store, flow) = golden_flow();
+    for (x, gz, gld) in [
+        (&X, &GOLDEN_Z3_X, GOLDEN_LOGDET3_X),
+        (&X2, &GOLDEN_Z3_X2, GOLDEN_LOGDET3_X2),
+    ] {
+        let (z, logdet) = flow.transform(&store, x, 3);
+        for (i, (&zi, &gi)) in z.iter().zip(gz.iter()).enumerate() {
+            assert_close(zi, gi, &format!("depth-3 z[{i}] of {x:?}"));
+        }
+        assert_close(logdet, gld, &format!("depth-3 logdet of {x:?}"));
+    }
+}
+
+#[test]
+fn log_density_matches_goldens() {
+    let (store, flow) = golden_flow();
+    assert_close(flow.log_density(&store, &X, 6), GOLDEN_LOGQ_X, "ln q(X)");
+    assert_close(flow.log_density(&store, &X2, 6), GOLDEN_LOGQ_X2, "ln q(X2)");
+}
+
+#[test]
+fn inverse_round_trip_recovers_input_through_goldens() {
+    let (store, flow) = golden_flow();
+    for (x, gz) in [(&X, &GOLDEN_Z_X), (&X2, &GOLDEN_Z_X2)] {
+        // Inverting the *golden* forward output must recover the input, so
+        // forward and inverse are pinned against each other, not just
+        // against their own history.
+        let (back, logdet_inv) = flow.inverse(&store, gz, 6);
+        for (i, (&bi, &xi)) in back.iter().zip(x.iter()).enumerate() {
+            assert!(
+                (bi - xi).abs() < 1e-9,
+                "round-trip x[{i}]: got {bi}, expected {xi}"
+            );
+        }
+        // The inverse log-det must cancel the forward one.
+        let (_, logdet_fwd) = flow.transform(&store, x, 6);
+        assert!(
+            (logdet_fwd + logdet_inv).abs() < 1e-9,
+            "logdet fwd {logdet_fwd} + inv {logdet_inv} != 0"
+        );
+    }
+}
+
+#[test]
+fn sample_log_density_consistency_is_pinned() {
+    // ln q from sampling (base - logdet along the path) must agree with
+    // ln q from inversion at the sampled point.
+    let (store, flow) = golden_flow();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..20 {
+        let (x, logq) = flow.sample(&store, 6, &mut rng);
+        let logq2 = flow.log_density(&store, &x, 6);
+        assert!(
+            (logq - logq2).abs() < 1e-8,
+            "sample logq {logq} vs inverse logq {logq2}"
+        );
+    }
+}

@@ -92,7 +92,7 @@ proptest! {
     fn case_gradients_are_consistent(seed in 0u64..200) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let cases: Vec<Box<dyn LimitState>> = vec![
+        let cases: Vec<Box<dyn LimitState + Sync>> = vec![
             Box::new(Leaf),
             Box::new(Opamp::default()),
             Box::new(ChargePump::default()),
