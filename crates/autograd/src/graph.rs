@@ -1,4 +1,5 @@
-use crate::Tensor;
+use crate::pool::PoolStats;
+use crate::{BufferPool, Tensor};
 
 /// Identifier of a parameter tensor registered with a
 /// [`ParamStore`](crate::ParamStore).
@@ -33,10 +34,20 @@ enum Op {
     /// `[N,D] * [1,D]` broadcast multiply (masks).
     MulRow(Var, Var),
     Matmul(Var, Var),
+    /// Fused `x @ W + b` (optionally followed by `tanh`), the hot path of
+    /// every `Linear`/`Mlp` layer: one tape node instead of three.
+    Linear {
+        x: Var,
+        w: Var,
+        b: Var,
+        tanh: bool,
+    },
     Scale(Var, f64),
     AddScalar(Var),
     Neg(Var),
     Tanh(Var),
+    /// Fused `s · tanh(x)` — the coupling-layer log-scale clamp.
+    TanhScale(Var, f64),
     Sigmoid(Var),
     Softplus(Var),
     Relu(Var),
@@ -65,15 +76,22 @@ struct Node {
     value: Tensor,
     grad: Option<Tensor>,
     op: Op,
+    /// `true` when some trainable [`Op::Param`] leaf is reachable from this
+    /// node, i.e. the backward pass has a reason to compute its gradient.
+    /// Always `true` when pruning is disabled (the default).
+    requires_grad: bool,
 }
 
 /// A dynamically built computation tape supporting reverse-mode
 /// differentiation.
 ///
-/// Build a fresh `Graph` per training step, inject parameters with
-/// [`Graph::param`], compose operations, call [`Graph::backward`] on a
-/// scalar loss, and read parameter gradients back with
-/// [`Graph::param_grads`].
+/// Build a `Graph` once, inject parameters with [`Graph::param`] (or
+/// [`ParamStore::inject`](crate::ParamStore::inject)), compose operations,
+/// call [`Graph::backward`] on a scalar loss, and read parameter gradients
+/// back with [`Graph::param_grads`]. Between training steps, call
+/// [`Graph::reset`]: the tape clears but its node arena and every tensor
+/// buffer are retained in an internal [`BufferPool`], so steady-state steps
+/// perform no heap allocation (see [`Graph::pool_stats`]).
 ///
 /// # Example
 ///
@@ -86,16 +104,105 @@ struct Node {
 /// let loss = g.sum_all(y);
 /// g.backward(loss);
 /// assert_eq!(g.grad(x).unwrap().as_slice(), &[6.0]); // dy/dx = 2x
+///
+/// g.reset();                    // recycle every buffer, keep capacity
+/// assert!(g.is_empty());
 /// ```
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: BufferPool,
+    /// When `true`, gradient work is pruned for nodes with no trainable
+    /// ancestor (see [`Graph::set_pruning`]).
+    prune: bool,
+    /// When `true` (default), layer helpers fuse `matmul + bias (+ tanh)`
+    /// and `s · tanh` into single tape ops.
+    fuse: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Pooled tensor constructors (free functions so field borrows split).
+// ---------------------------------------------------------------------------
+
+fn pooled_zeros(pool: &mut BufferPool, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(rows, cols, pool.take(rows * cols))
+}
+
+fn pooled_copy(pool: &mut BufferPool, src: &Tensor) -> Tensor {
+    let mut data = pool.take_uninit(src.len());
+    data.extend_from_slice(src.as_slice());
+    Tensor::from_vec(src.rows(), src.cols(), data)
+}
+
+fn pooled_map(pool: &mut BufferPool, src: &Tensor, f: impl Fn(f64) -> f64) -> Tensor {
+    let mut data = pool.take_uninit(src.len());
+    data.extend(src.as_slice().iter().map(|&s| f(s)));
+    Tensor::from_vec(src.rows(), src.cols(), data)
+}
+
+fn pooled_zip(
+    pool: &mut BufferPool,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f64, f64) -> f64,
+) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "zip requires equal shapes");
+    let mut data = pool.take_uninit(a.len());
+    data.extend(
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y)),
+    );
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+fn pooled_transpose(pool: &mut BufferPool, src: &Tensor) -> Tensor {
+    let (n, d) = src.shape();
+    let mut data = pool.take_uninit(n * d);
+    // Sequential in the output (column of `src` after column), so the
+    // buffer is written exactly once — no zero-fill pass.
+    let s = src.as_slice();
+    for c in 0..d {
+        data.extend((0..n).map(|r| s[r * d + c]));
+    }
+    Tensor::from_vec(d, n, data)
+}
+
+/// `a @ b` into a pooled buffer, through the same shared kernel as
+/// [`Tensor::matmul`] (bitwise identical for any thread count).
+fn pooled_matmul(pool: &mut BufferPool, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul of {}x{} by {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = pooled_zeros(pool, a.rows(), b.cols());
+    nofis_parallel::kernels::matmul_into(
+        nofis_parallel::global(),
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        a.rows(),
+        a.cols(),
+        b.cols(),
+    );
+    out
 }
 
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph with pruning off and op fusion on.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default().with_fusion_on()
+    }
+
+    fn with_fusion_on(mut self) -> Self {
+        self.fuse = true;
+        self
     }
 
     /// Number of nodes currently on the tape.
@@ -108,13 +215,92 @@ impl Graph {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> Var {
+    /// Clears the tape while retaining the node arena and recycling every
+    /// tensor buffer (values, gradients, external Jacobians) into the
+    /// internal pool, so rebuilding an identically shaped tape allocates
+    /// nothing.
+    pub fn reset(&mut self) {
+        let Graph { nodes, pool, .. } = self;
+        for mut node in nodes.drain(..) {
+            if let Some(g) = node.grad.take() {
+                pool.put(g.into_vec());
+            }
+            if let Op::External { grads, .. } = node.op {
+                pool.put(grads.into_vec());
+            }
+            pool.put(node.value.into_vec());
+        }
+    }
+
+    /// Enables or disables needs-grad pruning for the tape built next.
+    ///
+    /// With pruning **on**, constants do not require gradients, parameter
+    /// leaves require them only when injected as trainable, and
+    /// [`Graph::backward`] skips every gradient kernel (and grad-buffer
+    /// allocation) for nodes with no trainable ancestor. The gradients that
+    /// *are* computed are bitwise identical to the unpruned ones — pruning
+    /// removes work whose results would never be read, nothing else.
+    ///
+    /// With pruning **off** (the default), every node requires gradients,
+    /// matching the historical semantics (`g.grad(constant)` works).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape is non-empty: flags are assigned at node-build
+    /// time, so toggling mid-tape would make them inconsistent.
+    pub fn set_pruning(&mut self, on: bool) {
+        assert!(
+            self.nodes.is_empty(),
+            "set_pruning requires an empty tape (call reset() first)"
+        );
+        self.prune = on;
+    }
+
+    /// Whether needs-grad pruning is enabled.
+    pub fn pruning_enabled(&self) -> bool {
+        self.prune
+    }
+
+    /// Enables or disables fused layer ops (`matmul+bias(+tanh)`,
+    /// `s·tanh`). Fusion is on by default; the unfused composition produces
+    /// bitwise-identical values and gradients and exists for A/B testing
+    /// and benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape is non-empty.
+    pub fn set_fusion(&mut self, on: bool) {
+        assert!(
+            self.nodes.is_empty(),
+            "set_fusion requires an empty tape (call reset() first)"
+        );
+        self.fuse = on;
+    }
+
+    /// Whether fused layer ops are enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fuse
+    }
+
+    /// Hit/miss counters of the internal buffer pool — the workspace's
+    /// allocations-per-step meter (misses allocate, hits recycle).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
         self.nodes.push(Node {
             value,
             grad: None,
             op,
+            requires_grad,
         });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Whether `v` has a trainable ancestor (always `true` without pruning).
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
     }
 
     /// The forward value of `v`.
@@ -123,20 +309,73 @@ impl Graph {
     }
 
     /// The gradient of the last [`Graph::backward`] loss with respect to
-    /// `v`, if `v` participated.
+    /// `v`, if `v` participated (and was not pruned).
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
         self.nodes[v.0].grad.as_ref()
     }
 
     /// Adds a constant leaf (no gradient flows past it).
     pub fn constant(&mut self, t: Tensor) -> Var {
-        self.push(t, Op::Leaf)
+        let rg = !self.prune;
+        self.push(t, Op::Leaf, rg)
     }
 
-    /// Adds a parameter leaf whose gradient will be reported by
+    /// Adds a constant leaf by copying `data` into a pooled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn constant_from_slice(&mut self, rows: usize, cols: usize, data: &[f64]) -> Var {
+        assert_eq!(data.len(), rows * cols, "constant_from_slice length");
+        let mut buf = self.pool.take_uninit(rows * cols);
+        buf.extend_from_slice(data);
+        let rg = !self.prune;
+        self.push(Tensor::from_vec(rows, cols, buf), Op::Leaf, rg)
+    }
+
+    /// Adds a constant leaf whose pooled buffer is filled in place by
+    /// `fill` (handed a zeroed `rows * cols` slice) — e.g. a fresh batch of
+    /// base samples written without an intermediate allocation.
+    pub fn constant_with(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&mut [f64]),
+    ) -> Var {
+        let mut buf = self.pool.take(rows * cols);
+        fill(&mut buf);
+        let rg = !self.prune;
+        self.push(Tensor::from_vec(rows, cols, buf), Op::Leaf, rg)
+    }
+
+    /// Adds a trainable parameter leaf whose gradient will be reported by
     /// [`Graph::param_grads`] under `id`.
     pub fn param(&mut self, id: ParamId, t: Tensor) -> Var {
-        self.push(t, Op::Param(id))
+        self.push(t, Op::Param(id), true)
+    }
+
+    /// Adds a parameter leaf by copying `data` into a pooled buffer.
+    ///
+    /// With pruning enabled and `trainable == false` (a frozen parameter),
+    /// the leaf requires no gradient: backward skips its whole forward-only
+    /// subgraph and [`Graph::param_grads`] omits it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn param_from_slice(
+        &mut self,
+        id: ParamId,
+        rows: usize,
+        cols: usize,
+        data: &[f64],
+        trainable: bool,
+    ) -> Var {
+        assert_eq!(data.len(), rows * cols, "param_from_slice length");
+        let mut buf = self.pool.take_uninit(rows * cols);
+        buf.extend_from_slice(data);
+        let rg = trainable || !self.prune;
+        self.push(Tensor::from_vec(rows, cols, buf), Op::Param(id), rg)
     }
 
     /// Elementwise addition of two same-shape tensors.
@@ -145,8 +384,10 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let out = self.value(a).zip_map(self.value(b), |x, y| x + y);
-        self.push(out, Op::Add(a, b))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_zip(pool, &nodes[a.0].value, &nodes[b.0].value, |x, y| x + y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Op::Add(a, b), rg)
     }
 
     /// Broadcast addition `[N,D] + [1,D]` (e.g. adding a bias row).
@@ -155,20 +396,23 @@ impl Graph {
     ///
     /// Panics if `b` is not `1 x D` with `D` matching `a`'s columns.
     pub fn add_row(&mut self, a: Var, b: Var) -> Var {
-        let (n, d) = self.value(a).shape();
+        let Graph { nodes, pool, .. } = self;
+        let (n, d) = nodes[a.0].value.shape();
         assert_eq!(
-            self.value(b).shape(),
+            nodes[b.0].value.shape(),
             (1, d),
             "add_row rhs must be 1x{d}, got {:?}",
-            self.value(b).shape()
+            nodes[b.0].value.shape()
         );
-        let mut out = self.value(a).clone();
+        let mut out = pooled_copy(pool, &nodes[a.0].value);
+        let bias = &nodes[b.0].value;
         for r in 0..n {
             for c in 0..d {
-                out[(r, c)] += self.value(b)[(0, c)];
+                out[(r, c)] += bias[(0, c)];
             }
         }
-        self.push(out, Op::AddRow(a, b))
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Op::AddRow(a, b), rg)
     }
 
     /// Elementwise subtraction `a - b`.
@@ -177,8 +421,10 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let out = self.value(a).zip_map(self.value(b), |x, y| x - y);
-        self.push(out, Op::Sub(a, b))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_zip(pool, &nodes[a.0].value, &nodes[b.0].value, |x, y| x - y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Op::Sub(a, b), rg)
     }
 
     /// Elementwise multiplication of two same-shape tensors.
@@ -187,8 +433,10 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let out = self.value(a).zip_map(self.value(b), |x, y| x * y);
-        self.push(out, Op::Mul(a, b))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_zip(pool, &nodes[a.0].value, &nodes[b.0].value, |x, y| x * y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Op::Mul(a, b), rg)
     }
 
     /// Broadcast multiplication `[N,D] * [1,D]` (e.g. applying a mask row).
@@ -197,20 +445,23 @@ impl Graph {
     ///
     /// Panics if `b` is not `1 x D` with `D` matching `a`'s columns.
     pub fn mul_row(&mut self, a: Var, b: Var) -> Var {
-        let (n, d) = self.value(a).shape();
+        let Graph { nodes, pool, .. } = self;
+        let (n, d) = nodes[a.0].value.shape();
         assert_eq!(
-            self.value(b).shape(),
+            nodes[b.0].value.shape(),
             (1, d),
             "mul_row rhs must be 1x{d}, got {:?}",
-            self.value(b).shape()
+            nodes[b.0].value.shape()
         );
-        let mut out = self.value(a).clone();
+        let mut out = pooled_copy(pool, &nodes[a.0].value);
+        let row = &nodes[b.0].value;
         for r in 0..n {
             for c in 0..d {
-                out[(r, c)] *= self.value(b)[(0, c)];
+                out[(r, c)] *= row[(0, c)];
             }
         }
-        self.push(out, Op::MulRow(a, b))
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Op::MulRow(a, b), rg)
     }
 
     /// Matrix product `a @ b`.
@@ -219,68 +470,149 @@ impl Graph {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let out = self.value(a).matmul(self.value(b));
-        self.push(out, Op::Matmul(a, b))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_matmul(pool, &nodes[a.0].value, &nodes[b.0].value);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Op::Matmul(a, b), rg)
+    }
+
+    /// Fused linear layer `x @ W + b`, optionally followed by `tanh`.
+    ///
+    /// One tape node replaces the `matmul` → `add_row` (→ `tanh`) chain; the
+    /// value and gradients are bitwise identical to that composition (the
+    /// arithmetic runs in the same order: full matmul, then the bias rows,
+    /// then the activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `b` is not `1 x D`.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var, apply_tanh: bool) -> Var {
+        let Graph { nodes, pool, .. } = self;
+        let mut out = pooled_matmul(pool, &nodes[x.0].value, &nodes[w.0].value);
+        let d = out.cols();
+        assert_eq!(
+            nodes[b.0].value.shape(),
+            (1, d),
+            "linear bias must be 1x{d}, got {:?}",
+            nodes[b.0].value.shape()
+        );
+        // One slice pass over the rows; per element the arithmetic is
+        // exactly `(xw + bias).tanh()`, the same add-then-activate each
+        // element sees in the composed chain.
+        let bias = nodes[b.0].value.as_slice();
+        if apply_tanh {
+            for row in out.as_mut_slice().chunks_exact_mut(d) {
+                for (v, &bv) in row.iter_mut().zip(bias) {
+                    *v = (*v + bv).tanh();
+                }
+            }
+        } else {
+            for row in out.as_mut_slice().chunks_exact_mut(d) {
+                for (v, &bv) in row.iter_mut().zip(bias) {
+                    *v += bv;
+                }
+            }
+        }
+        let rg = self.rg(x) || self.rg(w) || self.rg(b);
+        self.push(
+            out,
+            Op::Linear {
+                x,
+                w,
+                b,
+                tanh: apply_tanh,
+            },
+            rg,
+        )
     }
 
     /// Multiplies every entry by the constant `s`.
     pub fn scale(&mut self, a: Var, s: f64) -> Var {
-        let out = self.value(a).map(|x| x * s);
-        self.push(out, Op::Scale(a, s))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| x * s);
+        let rg = self.rg(a);
+        self.push(out, Op::Scale(a, s), rg)
     }
 
     /// Adds the constant `s` to every entry.
     pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
-        let out = self.value(a).map(|x| x + s);
-        self.push(out, Op::AddScalar(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| x + s);
+        let rg = self.rg(a);
+        self.push(out, Op::AddScalar(a), rg)
     }
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| -x);
-        self.push(out, Op::Neg(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| -x);
+        let rg = self.rg(a);
+        self.push(out, Op::Neg(a), rg)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f64::tanh);
-        self.push(out, Op::Tanh(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, f64::tanh);
+        let rg = self.rg(a);
+        self.push(out, Op::Tanh(a), rg)
+    }
+
+    /// Fused `s · tanh(x)` (the coupling-layer log-scale clamp) in one tape
+    /// node; value and gradient are bitwise identical to `scale(tanh(x), s)`.
+    pub fn tanh_scale(&mut self, a: Var, s: f64) -> Var {
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| x.tanh() * s);
+        let rg = self.rg(a);
+        self.push(out, Op::TanhScale(a, s), rg)
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(sigmoid);
-        self.push(out, Op::Sigmoid(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, sigmoid);
+        let rg = self.rg(a);
+        self.push(out, Op::Sigmoid(a), rg)
     }
 
     /// Elementwise numerically stable softplus `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(softplus);
-        self.push(out, Op::Softplus(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, softplus);
+        let rg = self.rg(a);
+        self.push(out, Op::Softplus(a), rg)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| x.max(0.0));
-        self.push(out, Op::Relu(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(out, Op::Relu(a), rg)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f64::exp);
-        self.push(out, Op::Exp(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, f64::exp);
+        let rg = self.rg(a);
+        self.push(out, Op::Exp(a), rg)
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f64::ln);
-        self.push(out, Op::Ln(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, f64::ln);
+        let rg = self.rg(a);
+        self.push(out, Op::Ln(a), rg)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| x * x);
-        self.push(out, Op::Square(a))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| x * x);
+        let rg = self.rg(a);
+        self.push(out, Op::Square(a), rg)
     }
 
     /// Elementwise `min(x, c)` against the constant `c`.
@@ -288,30 +620,40 @@ impl Graph {
     /// The subgradient passes where `x < c` and is zero elsewhere, matching
     /// the convention used by the tempered NOFIS loss.
     pub fn min_scalar(&mut self, a: Var, c: f64) -> Var {
-        let out = self.value(a).map(|x| x.min(c));
-        self.push(out, Op::MinScalar(a, c))
+        let Graph { nodes, pool, .. } = self;
+        let out = pooled_map(pool, &nodes[a.0].value, |x| x.min(c));
+        let rg = self.rg(a);
+        self.push(out, Op::MinScalar(a, c), rg)
     }
 
     /// Sum of all entries, producing a `1 x 1` tensor.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let out = Tensor::scalar(self.value(a).sum());
-        self.push(out, Op::SumAll(a))
+        let Graph { nodes, pool, .. } = self;
+        let mut out = pooled_zeros(pool, 1, 1);
+        out.as_mut_slice()[0] = nodes[a.0].value.sum();
+        let rg = self.rg(a);
+        self.push(out, Op::SumAll(a), rg)
     }
 
     /// Mean of all entries, producing a `1 x 1` tensor.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let out = Tensor::scalar(self.value(a).mean());
-        self.push(out, Op::MeanAll(a))
+        let Graph { nodes, pool, .. } = self;
+        let mut out = pooled_zeros(pool, 1, 1);
+        out.as_mut_slice()[0] = nodes[a.0].value.mean();
+        let rg = self.rg(a);
+        self.push(out, Op::MeanAll(a), rg)
     }
 
     /// Per-row sum, mapping `[N,D] -> [N,1]`.
     pub fn sum_cols(&mut self, a: Var) -> Var {
-        let (n, _) = self.value(a).shape();
-        let mut out = Tensor::zeros(n, 1);
+        let Graph { nodes, pool, .. } = self;
+        let (n, _) = nodes[a.0].value.shape();
+        let mut out = pooled_zeros(pool, n, 1);
         for r in 0..n {
-            out[(r, 0)] = self.value(a).row(r).iter().sum();
+            out[(r, 0)] = nodes[a.0].value.row(r).iter().sum();
         }
-        self.push(out, Op::SumCols(a))
+        let rg = self.rg(a);
+        self.push(out, Op::SumCols(a), rg)
     }
 
     /// Applies an externally differentiated row-wise function
@@ -331,8 +673,14 @@ impl Graph {
         mut f: impl FnMut(&[f64]) -> (f64, Vec<f64>),
     ) -> Var {
         let (n, d) = self.value(a).shape();
-        let mut out = Tensor::zeros(n, 1);
-        let mut grads = Tensor::zeros(n, d);
+        let mut out = {
+            let Graph { pool, .. } = self;
+            pooled_zeros(pool, n, 1)
+        };
+        let mut grads = {
+            let Graph { pool, .. } = self;
+            pooled_zeros(pool, n, d)
+        };
         for r in 0..n {
             let (v, grad) = f(self.value(a).row(r));
             assert_eq!(
@@ -344,7 +692,8 @@ impl Graph {
             out[(r, 0)] = v;
             grads.row_mut(r).copy_from_slice(&grad);
         }
-        self.push(out, Op::External { input: a, grads })
+        let rg = self.rg(a);
+        self.push(out, Op::External { input: a, grads }, rg)
     }
 
     /// Parallel variant of [`Graph::external_rowwise`] for thread-safe
@@ -377,8 +726,14 @@ impl Graph {
             (start..end).map(|r| f(input.row(r))).collect()
         });
 
-        let mut out = Tensor::zeros(n, 1);
-        let mut grads = Tensor::zeros(n, d);
+        let mut out = {
+            let Graph { pool, .. } = self;
+            pooled_zeros(pool, n, 1)
+        };
+        let mut grads = {
+            let Graph { pool, .. } = self;
+            pooled_zeros(pool, n, d)
+        };
         for (r, (v, grad)) in per_chunk.into_iter().flatten().enumerate() {
             assert_eq!(
                 grad.len(),
@@ -389,14 +744,17 @@ impl Graph {
             out[(r, 0)] = v;
             grads.row_mut(r).copy_from_slice(&grad);
         }
-        self.push(out, Op::External { input: a, grads })
+        let rg = self.rg(a);
+        self.push(out, Op::External { input: a, grads }, rg)
     }
 
     /// Runs reverse-mode differentiation from the scalar `loss` node.
     ///
-    /// Gradients accumulate on every node reachable from `loss`; read them
-    /// with [`Graph::grad`] or collect parameter gradients via
-    /// [`Graph::param_grads`].
+    /// Gradients accumulate on every node reachable from `loss` that has a
+    /// trainable ancestor (every reachable node when pruning is off); read
+    /// them with [`Graph::grad`] or collect parameter gradients via
+    /// [`Graph::param_grads`]. Gradient buffers come from the internal
+    /// pool, and pruned branches allocate nothing.
     ///
     /// # Panics
     ///
@@ -407,10 +765,22 @@ impl Graph {
             (1, 1),
             "backward requires a scalar (1x1) loss"
         );
-        for node in &mut self.nodes {
-            node.grad = None;
+        {
+            let Graph { nodes, pool, .. } = self;
+            for node in nodes.iter_mut() {
+                if let Some(g) = node.grad.take() {
+                    pool.put(g.into_vec());
+                }
+            }
         }
-        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        if !self.nodes[loss.0].requires_grad {
+            // Nothing trainable feeds the loss; there are no gradients to
+            // produce.
+            return;
+        }
+        let mut seed = self.pool.take(1);
+        seed[0] = 1.0;
+        self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, seed));
 
         for i in (0..=loss.0).rev() {
             let Some(up) = self.nodes[i].grad.take() else {
@@ -424,9 +794,20 @@ impl Graph {
         }
     }
 
+    /// Adds `delta` into `v`'s gradient slot, recycling `delta`'s buffer
+    /// when it merges into an existing gradient (or when `v` is pruned).
     fn accumulate(&mut self, v: Var, delta: Tensor) {
-        match &mut self.nodes[v.0].grad {
-            Some(g) => g.axpy(1.0, &delta),
+        let Graph { nodes, pool, .. } = self;
+        let node = &mut nodes[v.0];
+        if !node.requires_grad {
+            pool.put(delta.into_vec());
+            return;
+        }
+        match &mut node.grad {
+            Some(g) => {
+                g.axpy(1.0, &delta);
+                pool.put(delta.into_vec());
+            }
             slot @ None => *slot = Some(delta),
         }
     }
@@ -435,115 +816,381 @@ impl Graph {
         match *op {
             Op::Leaf | Op::Param(_) => {}
             Op::Add(a, b) => {
-                self.accumulate(a, up.clone());
-                self.accumulate(b, up.clone());
+                if self.rg(a) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_copy(pool, up)
+                    };
+                    self.accumulate(a, d);
+                }
+                if self.rg(b) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_copy(pool, up)
+                    };
+                    self.accumulate(b, d);
+                }
             }
             Op::AddRow(a, b) => {
-                self.accumulate(a, up.clone());
-                let (n, d) = up.shape();
-                let mut gb = Tensor::zeros(1, d);
-                for r in 0..n {
-                    for c in 0..d {
-                        gb[(0, c)] += up[(r, c)];
-                    }
+                if self.rg(a) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_copy(pool, up)
+                    };
+                    self.accumulate(a, d);
                 }
-                self.accumulate(b, gb);
+                if self.rg(b) {
+                    let (n, d) = up.shape();
+                    let mut gb = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, 1, d)
+                    };
+                    for r in 0..n {
+                        for c in 0..d {
+                            gb[(0, c)] += up[(r, c)];
+                        }
+                    }
+                    self.accumulate(b, gb);
+                }
             }
             Op::Sub(a, b) => {
-                self.accumulate(a, up.clone());
-                self.accumulate(b, up.map(|x| -x));
+                if self.rg(a) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_copy(pool, up)
+                    };
+                    self.accumulate(a, d);
+                }
+                if self.rg(b) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_map(pool, up, |x| -x)
+                    };
+                    self.accumulate(b, d);
+                }
             }
             Op::Mul(a, b) => {
-                let ga = up.zip_map(self.value(b), |u, y| u * y);
-                let gb = up.zip_map(self.value(a), |u, x| u * x);
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
+                if self.rg(a) {
+                    let ga = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[b.0].value, |u, y| u * y)
+                    };
+                    self.accumulate(a, ga);
+                }
+                if self.rg(b) {
+                    let gb = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[a.0].value, |u, x| u * x)
+                    };
+                    self.accumulate(b, gb);
+                }
             }
             Op::MulRow(a, b) => {
                 let (n, d) = up.shape();
-                let mut ga = Tensor::zeros(n, d);
-                let mut gb = Tensor::zeros(1, d);
-                for r in 0..n {
-                    for c in 0..d {
-                        ga[(r, c)] = up[(r, c)] * self.value(b)[(0, c)];
-                        gb[(0, c)] += up[(r, c)] * self.value(a)[(r, c)];
+                if self.rg(a) {
+                    let mut ga = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, n, d)
+                    };
+                    {
+                        let row = &self.nodes[b.0].value;
+                        for r in 0..n {
+                            for c in 0..d {
+                                ga[(r, c)] = up[(r, c)] * row[(0, c)];
+                            }
+                        }
                     }
+                    self.accumulate(a, ga);
                 }
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
+                if self.rg(b) {
+                    let mut gb = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, 1, d)
+                    };
+                    {
+                        let av = &self.nodes[a.0].value;
+                        for r in 0..n {
+                            for c in 0..d {
+                                gb[(0, c)] += up[(r, c)] * av[(r, c)];
+                            }
+                        }
+                    }
+                    self.accumulate(b, gb);
+                }
             }
             Op::Matmul(a, b) => {
-                let ga = up.matmul(&self.value(b).transpose());
-                let gb = self.value(a).transpose().matmul(up);
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
+                if self.rg(a) {
+                    let ga = {
+                        let Graph { nodes, pool, .. } = self;
+                        let bt = pooled_transpose(pool, &nodes[b.0].value);
+                        let ga = pooled_matmul(pool, up, &bt);
+                        pool.put(bt.into_vec());
+                        ga
+                    };
+                    self.accumulate(a, ga);
+                }
+                if self.rg(b) {
+                    let gb = {
+                        let Graph { nodes, pool, .. } = self;
+                        let at = pooled_transpose(pool, &nodes[a.0].value);
+                        let gb = pooled_matmul(pool, &at, up);
+                        pool.put(at.into_vec());
+                        gb
+                    };
+                    self.accumulate(b, gb);
+                }
             }
-            Op::Scale(a, s) => self.accumulate(a, up.map(|x| x * s)),
-            Op::AddScalar(a) => self.accumulate(a, up.clone()),
-            Op::Neg(a) => self.accumulate(a, up.map(|x| -x)),
+            Op::Linear { x, w, b, tanh } => self.linear_backward(node, x, w, b, tanh, up),
+            Op::Scale(a, s) => {
+                if self.rg(a) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_map(pool, up, |x| x * s)
+                    };
+                    self.accumulate(a, d);
+                }
+            }
+            Op::AddScalar(a) => {
+                if self.rg(a) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_copy(pool, up)
+                    };
+                    self.accumulate(a, d);
+                }
+            }
+            Op::Neg(a) => {
+                if self.rg(a) {
+                    let d = {
+                        let Graph { pool, .. } = self;
+                        pooled_map(pool, up, |x| -x)
+                    };
+                    self.accumulate(a, d);
+                }
+            }
             Op::Tanh(a) => {
-                let g = up.zip_map(&self.nodes[node].value, |u, y| u * (1.0 - y * y));
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[node].value, |u, y| u * (1.0 - y * y))
+                    };
+                    self.accumulate(a, g);
+                }
+            }
+            Op::TanhScale(a, s) => {
+                if self.rg(a) {
+                    // Recompute tanh from the input: same arithmetic and
+                    // grouping as the unfused scale∘tanh backward,
+                    // (u·s)·(1−t²), so the gradient is bitwise identical.
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[a.0].value, |u, xv| {
+                            let t = xv.tanh();
+                            (u * s) * (1.0 - t * t)
+                        })
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::Sigmoid(a) => {
-                let g = up.zip_map(&self.nodes[node].value, |u, y| u * y * (1.0 - y));
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[node].value, |u, y| u * y * (1.0 - y))
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::Softplus(a) => {
-                let g = up.zip_map(self.value(a), |u, x| u * sigmoid(x));
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[a.0].value, |u, x| u * sigmoid(x))
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::Relu(a) => {
-                let g = up.zip_map(self.value(a), |u, x| if x > 0.0 { u } else { 0.0 });
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(
+                            pool,
+                            up,
+                            &nodes[a.0].value,
+                            |u, x| {
+                                if x > 0.0 {
+                                    u
+                                } else {
+                                    0.0
+                                }
+                            },
+                        )
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::Exp(a) => {
-                let g = up.zip_map(&self.nodes[node].value, |u, y| u * y);
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[node].value, |u, y| u * y)
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::Ln(a) => {
-                let g = up.zip_map(self.value(a), |u, x| u / x);
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[a.0].value, |u, x| u / x)
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::Square(a) => {
-                let g = up.zip_map(self.value(a), |u, x| u * 2.0 * x);
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(pool, up, &nodes[a.0].value, |u, x| u * 2.0 * x)
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::MinScalar(a, c) => {
-                let g = up.zip_map(self.value(a), |u, x| if x < c { u } else { 0.0 });
-                self.accumulate(a, g);
+                if self.rg(a) {
+                    let g = {
+                        let Graph { nodes, pool, .. } = self;
+                        pooled_zip(
+                            pool,
+                            up,
+                            &nodes[a.0].value,
+                            |u, x| {
+                                if x < c {
+                                    u
+                                } else {
+                                    0.0
+                                }
+                            },
+                        )
+                    };
+                    self.accumulate(a, g);
+                }
             }
             Op::SumAll(a) => {
-                let (n, d) = self.value(a).shape();
-                self.accumulate(a, Tensor::filled(n, d, up.item()));
+                if self.rg(a) {
+                    let (n, d) = self.value(a).shape();
+                    let u = up.item();
+                    let mut g = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, n, d)
+                    };
+                    g.as_mut_slice().fill(u);
+                    self.accumulate(a, g);
+                }
             }
             Op::MeanAll(a) => {
-                let (n, d) = self.value(a).shape();
-                let s = up.item() / (n * d) as f64;
-                self.accumulate(a, Tensor::filled(n, d, s));
+                if self.rg(a) {
+                    let (n, d) = self.value(a).shape();
+                    let s = up.item() / (n * d) as f64;
+                    let mut g = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, n, d)
+                    };
+                    g.as_mut_slice().fill(s);
+                    self.accumulate(a, g);
+                }
             }
             Op::SumCols(a) => {
-                let (n, d) = self.value(a).shape();
-                let mut g = Tensor::zeros(n, d);
-                for r in 0..n {
-                    let u = up[(r, 0)];
-                    for c in 0..d {
-                        g[(r, c)] = u;
+                if self.rg(a) {
+                    let (n, d) = self.value(a).shape();
+                    let mut g = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, n, d)
+                    };
+                    for r in 0..n {
+                        let u = up[(r, 0)];
+                        for c in 0..d {
+                            g[(r, c)] = u;
+                        }
                     }
+                    self.accumulate(a, g);
                 }
-                self.accumulate(a, g);
             }
             Op::External { input, ref grads } => {
-                let (n, d) = grads.shape();
-                let mut g = Tensor::zeros(n, d);
-                for r in 0..n {
-                    let u = up[(r, 0)];
-                    for c in 0..d {
-                        g[(r, c)] = u * grads[(r, c)];
+                if self.rg(input) {
+                    let (n, d) = grads.shape();
+                    let mut g = {
+                        let Graph { pool, .. } = self;
+                        pooled_zeros(pool, n, d)
+                    };
+                    for r in 0..n {
+                        let u = up[(r, 0)];
+                        for c in 0..d {
+                            g[(r, c)] = u * grads[(r, c)];
+                        }
+                    }
+                    self.accumulate(input, g);
+                }
+            }
+        }
+    }
+
+    /// Backward pass of the fused linear op. The arithmetic mirrors the
+    /// unfused `tanh` → `add_row` → `matmul` chain exactly (same kernels,
+    /// same accumulation order within each gradient), so the results are
+    /// bitwise identical to the composition.
+    fn linear_backward(&mut self, node: usize, x: Var, w: Var, b: Var, tanh: bool, up: &Tensor) {
+        // Gradient at the pre-activation x@W + b.
+        let owned_dpre = if tanh {
+            let Graph { nodes, pool, .. } = self;
+            Some(pooled_zip(pool, up, &nodes[node].value, |u, y| {
+                u * (1.0 - y * y)
+            }))
+        } else {
+            None
+        };
+        {
+            let dpre = owned_dpre.as_ref().unwrap_or(up);
+            if self.rg(b) {
+                let d = dpre.cols();
+                let mut gb = {
+                    let Graph { pool, .. } = self;
+                    pooled_zeros(pool, 1, d)
+                };
+                // Row-major accumulation, the same order as the composed
+                // `add_row` backward's column sums.
+                let gbs = gb.as_mut_slice();
+                for row in dpre.as_slice().chunks_exact(d) {
+                    for (g, &v) in gbs.iter_mut().zip(row) {
+                        *g += v;
                     }
                 }
-                self.accumulate(input, g);
+                self.accumulate(b, gb);
             }
+            if self.rg(x) {
+                let gx = {
+                    let Graph { nodes, pool, .. } = self;
+                    let wt = pooled_transpose(pool, &nodes[w.0].value);
+                    let gx = pooled_matmul(pool, dpre, &wt);
+                    pool.put(wt.into_vec());
+                    gx
+                };
+                self.accumulate(x, gx);
+            }
+            if self.rg(w) {
+                let gw = {
+                    let Graph { nodes, pool, .. } = self;
+                    let xt = pooled_transpose(pool, &nodes[x.0].value);
+                    let gw = pooled_matmul(pool, &xt, dpre);
+                    pool.put(xt.into_vec());
+                    gw
+                };
+                self.accumulate(w, gw);
+            }
+        }
+        if let Some(t) = owned_dpre {
+            self.pool.put(t.into_vec());
         }
     }
 
@@ -551,7 +1198,8 @@ impl Graph {
     ///
     /// If the same [`ParamId`] was injected more than once, its gradients
     /// are summed. Parameters that did not participate in the last backward
-    /// pass are omitted.
+    /// pass — including frozen parameters pruned by
+    /// [`Graph::set_pruning`] — are omitted.
     pub fn param_grads(&self) -> Vec<(ParamId, Tensor)> {
         let mut out: Vec<(ParamId, Tensor)> = Vec::new();
         for node in &self.nodes {
@@ -564,6 +1212,18 @@ impl Graph {
             }
         }
         out
+    }
+
+    /// Visits every parameter-leaf gradient in tape order without
+    /// materializing a gradient list — the allocation-free hand-off to
+    /// fused optimizer steps. A [`ParamId`] injected at several tape
+    /// positions is visited once per position with its partial gradient.
+    pub fn for_each_param_grad(&self, mut f: impl FnMut(ParamId, &Tensor)) {
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
+                f(*id, g);
+            }
+        }
     }
 }
 
@@ -732,5 +1392,157 @@ mod tests {
         assert!(sigmoid(-800.0) < 1e-6);
         assert!(softplus(-800.0).abs() < 1e-12);
         assert!((softplus(800.0) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_bitwise() {
+        let x_data = Tensor::from_vec(3, 2, vec![0.3, -0.7, 1.1, 0.2, -0.4, 0.9]);
+        let w_data = Tensor::from_vec(2, 2, vec![0.5, -0.3, 0.8, 0.1]);
+        let b_data = Tensor::from_row(&[0.05, -0.2]);
+        for apply_tanh in [false, true] {
+            let run = |fused: bool| {
+                let mut g = Graph::new();
+                let x = g.constant(x_data.clone());
+                let w = g.param(ParamId(0), w_data.clone());
+                let b = g.param(ParamId(1), b_data.clone());
+                let y = if fused {
+                    g.linear(x, w, b, apply_tanh)
+                } else {
+                    let xw = g.matmul(x, w);
+                    let pre = g.add_row(xw, b);
+                    if apply_tanh {
+                        g.tanh(pre)
+                    } else {
+                        pre
+                    }
+                };
+                let sq = g.square(y);
+                let loss = g.mean_all(sq);
+                g.backward(loss);
+                (g.value(y).clone(), g.param_grads())
+            };
+            let (y_f, grads_f) = run(true);
+            let (y_u, grads_u) = run(false);
+            assert_eq!(y_f, y_u, "fused value drifted (tanh={apply_tanh})");
+            for ((idf, gf), (idu, gu)) in grads_f.iter().zip(&grads_u) {
+                assert_eq!(idf, idu);
+                for (a, b) in gf.as_slice().iter().zip(gu.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "grad bits (tanh={apply_tanh})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tanh_scale_matches_unfused_bitwise() {
+        let x_data = Tensor::from_row(&[0.3, -1.2, 2.4]);
+        let run = |fused: bool| {
+            let mut g = Graph::new();
+            let x = g.param(ParamId(0), x_data.clone());
+            let y = if fused {
+                g.tanh_scale(x, 1.7)
+            } else {
+                let t = g.tanh(x);
+                g.scale(t, 1.7)
+            };
+            let loss = g.sum_all(y);
+            g.backward(loss);
+            (g.value(y).clone(), g.param_grads().remove(0).1)
+        };
+        let (y_f, g_f) = run(true);
+        let (y_u, g_u) = run(false);
+        assert_eq!(y_f, y_u);
+        for (a, b) in g_f.as_slice().iter().zip(g_u.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_with_zero_steady_state_misses() {
+        let mut g = Graph::new();
+        let mut run_step = |g: &mut Graph| {
+            let x = g.constant_with(4, 3, |buf| {
+                for (i, v) in buf.iter_mut().enumerate() {
+                    *v = (i as f64 * 0.37).sin();
+                }
+            });
+            let w = g.param(ParamId(0), Tensor::from_vec(3, 2, vec![0.1; 6]));
+            let b = g.param(ParamId(1), Tensor::from_row(&[0.0, 0.1]));
+            let y = g.linear(x, w, b, true);
+            let sq = g.square(y);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.value(loss).item()
+        };
+        let first = run_step(&mut g);
+        let warm_misses = g.pool_stats().misses;
+        for _ in 0..5 {
+            g.reset();
+            let again = run_step(&mut g);
+            assert_eq!(again.to_bits(), first.to_bits(), "reset changed results");
+        }
+        assert_eq!(
+            g.pool_stats().misses,
+            warm_misses,
+            "steady-state steps must not allocate"
+        );
+        assert!(g.pool_stats().hits > 0);
+    }
+
+    #[test]
+    fn pruning_skips_frozen_only_subgraphs_and_keeps_grads_bitwise() {
+        // loss = mean((x·Wf + x·Wt)^2): Wf frozen, Wt trainable.
+        let x_data = Tensor::from_vec(2, 2, vec![0.4, -0.3, 0.7, 0.2]);
+        let wf = Tensor::from_vec(2, 2, vec![0.3, 0.1, -0.2, 0.5]);
+        let wt = Tensor::from_vec(2, 2, vec![-0.4, 0.2, 0.6, -0.1]);
+        let run = |prune: bool| {
+            let mut g = Graph::new();
+            g.set_pruning(prune);
+            let x = g.constant(x_data.clone());
+            let f = g.param_from_slice(ParamId(0), 2, 2, wf.as_slice(), false);
+            let t = g.param_from_slice(ParamId(1), 2, 2, wt.as_slice(), true);
+            let hf = g.matmul(x, f);
+            let ht = g.matmul(x, t);
+            let h = g.add(hf, ht);
+            let sq = g.square(h);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            let frozen_grad_present = g.grad(f).is_some();
+            let trainable = g
+                .param_grads()
+                .into_iter()
+                .find(|(id, _)| *id == ParamId(1))
+                .expect("trainable grad")
+                .1;
+            (frozen_grad_present, trainable, g.value(loss).item())
+        };
+        let (frozen_on, grad_pruned, loss_pruned) = run(true);
+        let (frozen_off, grad_full, loss_full) = run(false);
+        assert!(!frozen_on, "pruned frozen param must have no grad buffer");
+        assert!(frozen_off, "unpruned run keeps the frozen grad");
+        assert_eq!(loss_pruned.to_bits(), loss_full.to_bits());
+        for (a, b) in grad_pruned.as_slice().iter().zip(grad_full.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "surviving gradient drifted");
+        }
+    }
+
+    #[test]
+    fn fully_frozen_loss_produces_no_gradients() {
+        let mut g = Graph::new();
+        g.set_pruning(true);
+        let w = g.param_from_slice(ParamId(0), 1, 2, &[1.0, 2.0], false);
+        let sq = g.square(w);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        assert!(g.grad(w).is_none());
+        assert!(g.param_grads().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tape")]
+    fn set_pruning_rejects_non_empty_tape() {
+        let mut g = Graph::new();
+        let _ = g.constant(Tensor::scalar(1.0));
+        g.set_pruning(true);
     }
 }

@@ -42,9 +42,11 @@
 
 pub mod check;
 mod graph;
+mod pool;
 mod store;
 mod tensor;
 
 pub use graph::{Graph, ParamId, Var};
+pub use pool::{BufferPool, PoolStats};
 pub use store::ParamStore;
 pub use tensor::Tensor;

@@ -83,8 +83,14 @@ impl ParamStore {
     }
 
     /// Injects parameter `id` into `graph` as a parameter leaf.
+    ///
+    /// The parameter's values are copied into a graph-pooled buffer (no
+    /// per-step heap allocation once the graph is warm) and the leaf is
+    /// marked trainable unless the parameter is frozen, which lets
+    /// [`Graph::set_pruning`] skip backward work for frozen subgraphs.
     pub fn inject(&self, graph: &mut Graph, id: ParamId) -> Var {
-        graph.param(id, self.params[id.0].clone())
+        let t = &self.params[id.0];
+        graph.param_from_slice(id, t.rows(), t.cols(), t.as_slice(), !self.frozen[id.0])
     }
 }
 

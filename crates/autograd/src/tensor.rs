@@ -107,6 +107,12 @@ impl Tensor {
         &self.data
     }
 
+    /// Consumes the tensor, returning its flat row-major buffer (used to
+    /// recycle tape buffers into a [`crate::BufferPool`]).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Mutably borrows the flat row-major buffer.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data

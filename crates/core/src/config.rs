@@ -69,6 +69,13 @@ pub struct NofisConfig {
     /// Freeze earlier stage blocks while training stage `m` (the paper's
     /// default policy; `false` reproduces the "NoFreeze" ablation).
     pub freeze: bool,
+    /// Skip backward kernels (and gradient buffers) for subgraphs whose
+    /// only parameters are frozen — when training stage `m`, the `m − 1`
+    /// frozen coupling blocks then cost forward-only. The surviving
+    /// gradients are bitwise identical with pruning on or off (see
+    /// DESIGN.md §9), so this is purely a speed knob; `false` restores the
+    /// exhaustive backward pass.
+    pub prune_frozen: bool,
     /// Optional hard cap on total simulator calls for
     /// [`Nofis::run`](crate::Nofis::run) /
     /// [`Nofis::train`](crate::Nofis::train). When the cap is hit, the
@@ -116,6 +123,7 @@ impl Default for NofisConfig {
             learning_rate: 5e-3,
             minibatch: 64,
             freeze: true,
+            prune_frozen: true,
             max_calls: None,
             max_grad_norm: Some(100.0),
             stage_retries: 2,

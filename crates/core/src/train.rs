@@ -1,5 +1,5 @@
 use crate::{ConfigError, FlowProposal, Levels, NofisConfig, NofisError, StageReport};
-use nofis_autograd::{Graph, ParamStore, Tensor};
+use nofis_autograd::{Graph, ParamStore};
 use nofis_flows::RealNvp;
 use nofis_nn::Adam;
 use nofis_prob::{
@@ -175,6 +175,14 @@ impl Nofis {
         let mut loss_history: Vec<Vec<f64>> = Vec::new();
         let mut stage_reports: Vec<StageReport> = Vec::new();
 
+        // One tape for the whole run: `reset()` between minibatches keeps
+        // the node arena and recycles every buffer, so steady-state steps
+        // allocate nothing. Frozen-stage pruning skips the backward kernels
+        // of earlier coupling blocks without changing any surviving
+        // gradient bit (DESIGN.md §9).
+        let mut g = Graph::new();
+        g.set_pruning(cfg.prune_frozen);
+
         for stage in 0..max_stages {
             // --- Pick this stage's threshold. ---
             let level = match &cfg.levels {
@@ -285,9 +293,8 @@ impl Nofis {
                                 format!("training stage {}", stage + 1),
                             ));
                         }
-                        let z0 = Tensor::from_vec(n, dim, base.sample_flat(n, rng));
-                        let mut g = Graph::new();
-                        let x = g.constant(z0);
+                        g.reset();
+                        let x = g.constant_with(n, dim, |buf| base.sample_fill(buf, rng));
                         let (z, logdet) = flow.forward_graph(&store, &mut g, x, depth);
                         // tempered term: min(tau * (a_m - g(z)), 0). A
                         // non-finite simulator response is sanitized to
@@ -326,7 +333,7 @@ impl Nofis {
                             break 'epochs;
                         }
                         g.backward(loss);
-                        opt.step(&mut store, &g.param_grads());
+                        opt.step_fused(&mut store, &g);
                         epoch_loss += chunk_loss * n as f64;
                     }
                     epoch_loss /= consumed as f64;

@@ -34,6 +34,9 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct AffineCoupling {
     mask: Mask,
+    /// `1 − mask`, cached at construction so the per-step graph build does
+    /// not recompute (and reallocate) the complement row.
+    inv_mask: Mask,
     scale_net: Mlp,
     translate_net: Mlp,
     s_max: f64,
@@ -59,8 +62,10 @@ impl AffineCoupling {
         let dims = [d, hidden, d];
         let scale_net = Mlp::new_zero_output(store, &dims, Activation::Tanh, rng);
         let translate_net = Mlp::new_zero_output(store, &dims, Activation::Tanh, rng);
+        let inv_mask = mask.complement();
         AffineCoupling {
             mask,
+            inv_mask,
             scale_net,
             translate_net,
             s_max,
@@ -96,13 +101,17 @@ impl AffineCoupling {
             "input has {} columns but the layer has dim {d}",
             g.value(x).cols()
         );
-        let mask = g.constant(Tensor::from_row(self.mask.as_slice()));
-        let inv_mask = g.constant(Tensor::from_row(self.mask.complement().as_slice()));
+        let mask = g.constant_from_slice(1, d, self.mask.as_slice());
+        let inv_mask = g.constant_from_slice(1, d, self.inv_mask.as_slice());
 
         let xm = g.mul_row(x, mask);
         let s_raw = self.scale_net.forward(store, g, xm);
-        let s_tanh = g.tanh(s_raw);
-        let s = g.scale(s_tanh, self.s_max);
+        let s = if g.fusion_enabled() {
+            g.tanh_scale(s_raw, self.s_max)
+        } else {
+            let s_tanh = g.tanh(s_raw);
+            g.scale(s_tanh, self.s_max)
+        };
         let t = self.translate_net.forward(store, g, xm);
 
         let es = g.exp(s);

@@ -1,4 +1,4 @@
-use nofis_autograd::{ParamId, ParamStore, Tensor};
+use nofis_autograd::{Graph, ParamId, ParamStore, Tensor};
 
 /// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
 ///
@@ -38,6 +38,10 @@ pub struct Adam {
     steps: Vec<u64>,
     /// Optional global-norm gradient clipping threshold.
     max_grad_norm: Option<f64>,
+    /// Generation-stamped scratch used by [`Adam::step_fused`] to detect a
+    /// parameter injected at several tape positions without allocating.
+    seen: Vec<u64>,
+    seen_gen: u64,
 }
 
 impl Adam {
@@ -69,6 +73,8 @@ impl Adam {
             moments: Vec::new(),
             steps: Vec::new(),
             max_grad_norm: None,
+            seen: Vec::new(),
+            seen_gen: 0,
         }
     }
 
@@ -135,36 +141,103 @@ impl Adam {
             None => 1.0,
         };
         for (id, grad) in grads {
-            if store.is_frozen(*id) || !grad.is_finite() {
-                continue;
-            }
-            let idx = id.index();
-            if idx >= self.moments.len() {
-                self.moments.resize(idx + 1, None);
-                self.steps.resize(idx + 1, 0);
-            }
-            let param = store.get_mut(*id);
-            let (m, v) = self.moments[idx].get_or_insert_with(|| {
-                (
-                    Tensor::zeros(param.rows(), param.cols()),
-                    Tensor::zeros(param.rows(), param.cols()),
-                )
+            self.update_param(store, *id, grad, clip);
+        }
+    }
+
+    /// Applies one Adam update directly from a graph's parameter-leaf
+    /// gradients, without materializing a `Vec<(ParamId, Tensor)>`.
+    ///
+    /// The arithmetic — global-norm clip pass included — is bitwise
+    /// identical to `self.step(store, &graph.param_grads())`: gradients are
+    /// visited in the same first-appearance tape order, and the one case
+    /// where the fused walk would differ (a parameter injected at several
+    /// tape positions, whose partial gradients must be summed before
+    /// squaring) is detected and routed through the materializing path.
+    pub fn step_fused(&mut self, store: &mut ParamStore, graph: &Graph) {
+        // Duplicate detection with generation-stamped scratch (allocation-
+        // free once `seen` covers the store).
+        self.seen_gen += 1;
+        let gen = self.seen_gen;
+        let mut duplicate = false;
+        {
+            let seen = &mut self.seen;
+            graph.for_each_param_grad(|id, _| {
+                let idx = id.index();
+                if idx >= seen.len() {
+                    seen.resize(idx + 1, 0);
+                }
+                if seen[idx] == gen {
+                    duplicate = true;
+                } else {
+                    seen[idx] = gen;
+                }
             });
-            self.steps[idx] += 1;
-            let t = self.steps[idx] as f64;
-            let (b1, b2) = (self.beta1, self.beta2);
-            let bc1 = 1.0 - b1.powf(t);
-            let bc2 = 1.0 - b2.powf(t);
-            for k in 0..param.len() {
-                let gk = clip * grad.as_slice()[k];
-                let mk = &mut m.as_mut_slice()[k];
-                *mk = b1 * *mk + (1.0 - b1) * gk;
-                let vk = &mut v.as_mut_slice()[k];
-                *vk = b2 * *vk + (1.0 - b2) * gk * gk;
-                let m_hat = *mk / bc1;
-                let v_hat = *vk / bc2;
-                param.as_mut_slice()[k] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        if duplicate {
+            let grads = graph.param_grads();
+            self.step(store, &grads);
+            return;
+        }
+        let clip = match self.max_grad_norm {
+            Some(max_norm) => {
+                let mut sq_sum = 0.0;
+                graph.for_each_param_grad(|id, grad| {
+                    if !store.is_frozen(id) && grad.is_finite() {
+                        sq_sum += grad.as_slice().iter().map(|g| g * g).sum::<f64>();
+                    }
+                });
+                let norm = sq_sum.sqrt();
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
             }
+            None => 1.0,
+        };
+        graph.for_each_param_grad(|id, grad| {
+            self.update_param(store, id, grad, clip);
+        });
+    }
+
+    /// Single fused pass over the `(param, m, v)` slices of one parameter.
+    fn update_param(&mut self, store: &mut ParamStore, id: ParamId, grad: &Tensor, clip: f64) {
+        if store.is_frozen(id) || !grad.is_finite() {
+            return;
+        }
+        let idx = id.index();
+        if idx >= self.moments.len() {
+            self.moments.resize(idx + 1, None);
+            self.steps.resize(idx + 1, 0);
+        }
+        let param = store.get_mut(id);
+        let (m, v) = self.moments[idx].get_or_insert_with(|| {
+            (
+                Tensor::zeros(param.rows(), param.cols()),
+                Tensor::zeros(param.rows(), param.cols()),
+            )
+        });
+        self.steps[idx] += 1;
+        let t = self.steps[idx] as f64;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let lr = self.lr;
+        let eps = self.eps;
+        for (((pk, mk), vk), &gr) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_mut_slice())
+            .zip(v.as_mut_slice())
+            .zip(grad.as_slice())
+        {
+            let gk = clip * gr;
+            *mk = b1 * *mk + (1.0 - b1) * gk;
+            *vk = b2 * *vk + (1.0 - b2) * gk * gk;
+            let m_hat = *mk / bc1;
+            let v_hat = *vk / bc2;
+            *pk -= lr * m_hat / (v_hat.sqrt() + eps);
         }
     }
 }

@@ -129,12 +129,21 @@ impl Mlp {
     }
 
     /// Applies the network to a batch `[N, in_dim]`.
+    ///
+    /// With `Tanh` hidden activations, each hidden layer runs as one fused
+    /// `matmul+bias+tanh` tape op (when the graph has fusion enabled);
+    /// other activations compose the linear layer with their own op.
     pub fn forward(&self, store: &ParamStore, g: &mut Graph, x: Var) -> Var {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(store, g, h);
-            if i + 1 < self.layers.len() {
-                h = self.activation.apply(g, h);
+            let hidden = i + 1 < self.layers.len();
+            if hidden && self.activation == Activation::Tanh {
+                h = layer.forward_tanh(store, g, h);
+            } else {
+                h = layer.forward(store, g, h);
+                if hidden {
+                    h = self.activation.apply(g, h);
+                }
             }
         }
         h

@@ -52,6 +52,16 @@ impl StandardGaussian {
             .collect()
     }
 
+    /// Fills `out` with i.i.d. standard-normal draws in place — the
+    /// allocation-free counterpart of [`StandardGaussian::sample_flat`]
+    /// (same RNG stream: filling a `n * dim` buffer consumes exactly the
+    /// draws `sample_flat(n, rng)` would).
+    pub fn sample_fill(&self, out: &mut [f64], rng: &mut impl Rng) {
+        for v in out.iter_mut() {
+            *v = rng.sample(StandardNormal);
+        }
+    }
+
     /// Log density `ln p(x)`.
     ///
     /// # Panics

@@ -11,7 +11,7 @@
 // so they pin the exact f64 bit pattern, not a rounded neighborhood.
 #![allow(clippy::excessive_precision)]
 
-use nofis::autograd::ParamStore;
+use nofis::autograd::{Graph, ParamStore, Tensor};
 use nofis::flows::RealNvp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,4 +151,44 @@ fn sample_log_density_consistency_is_pinned() {
             "sample logq {logq} vs inverse logq {logq2}"
         );
     }
+}
+
+#[test]
+fn fused_tape_reproduces_goldens_bitwise() {
+    // The fused matmul+bias+tanh / tanh-scale tape ops execute the exact
+    // same floating-point program as the composed ops they replace, so the
+    // checked-in goldens stay valid with fusion enabled (the default) and
+    // the graph path agrees with the plain `transform` path bit for bit.
+    let (store, flow) = golden_flow();
+    let run = |fused: bool| {
+        let mut g = Graph::new();
+        g.set_fusion(fused);
+        let mut data = X.to_vec();
+        data.extend_from_slice(&X2);
+        let x = g.constant(Tensor::from_vec(2, 4, data));
+        let (z, logdet) = flow.forward_graph(&store, &mut g, x, 6);
+        (g.value(z).clone(), g.value(logdet).clone())
+    };
+    let (z_f, ld_f) = run(true);
+    let (z_u, ld_u) = run(false);
+    for (i, (a, b)) in z_f.as_slice().iter().zip(z_u.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "fused z[{i}] drifted");
+    }
+    for (i, (a, b)) in ld_f.as_slice().iter().zip(ld_u.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "fused logdet[{i}] drifted");
+    }
+    // And the fused tape still lands on the checked-in goldens.
+    for (i, (got, want)) in z_f.as_slice()[..4].iter().zip(&GOLDEN_Z_X).enumerate() {
+        assert_close(*got, *want, &format!("fused graph z[{i}] of X"));
+    }
+    assert_close(
+        ld_f.as_slice()[0],
+        GOLDEN_LOGDET_X,
+        "fused graph logdet of X",
+    );
+    let (z_plain, ld_plain) = flow.transform(&store, &X, 6);
+    for (i, (a, b)) in z_f.as_slice()[..4].iter().zip(&z_plain).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "graph vs transform z[{i}]");
+    }
+    assert_eq!(ld_f.as_slice()[0].to_bits(), ld_plain.to_bits());
 }
