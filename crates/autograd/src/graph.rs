@@ -118,6 +118,36 @@ pub struct Graph {
     /// When `true` (default), layer helpers fuse `matmul + bias (+ tanh)`
     /// and `s · tanh` into single tape ops.
     fuse: bool,
+    /// Cumulative observability counters (see [`Graph::snapshot`]).
+    backward_runs: u64,
+    grad_nodes: u64,
+    skipped_nodes: u64,
+    pruned_nodes: u64,
+}
+
+/// Cumulative tape/pool statistics, read via [`Graph::snapshot`].
+///
+/// Everything here is observational: counters are bumped on paths the
+/// tape already takes and never change what gets computed. They quantify
+/// the effect of the two per-step optimizations — the buffer pool
+/// (`pool.misses` is the allocations-per-step meter) and frozen-gradient
+/// pruning (`skipped_nodes` counts backward visits that did no gradient
+/// work because nothing reached the node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Buffer-pool hit/miss counters (misses allocate, hits recycle).
+    pub pool: PoolStats,
+    /// [`Graph::backward`] invocations.
+    pub backward_runs: u64,
+    /// Nodes whose gradient was actually propagated across all backward
+    /// runs (the per-run count is the live tape minus skipped nodes).
+    pub grad_nodes: u64,
+    /// Backward visits skipped because no gradient reached the node —
+    /// pruned frozen-only subgraphs and branches the loss never touched.
+    pub skipped_nodes: u64,
+    /// Tape nodes built with gradients pruned (no trainable ancestor);
+    /// only nonzero with [`Graph::set_pruning`] on.
+    pub pruned_nodes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -288,7 +318,23 @@ impl Graph {
         self.pool.stats()
     }
 
+    /// Snapshot of the cumulative tape/pool counters. Callers emit these
+    /// as telemetry gauges at stage boundaries; deltas between snapshots
+    /// give per-stage allocations and pruning effectiveness.
+    pub fn snapshot(&self) -> GraphStats {
+        GraphStats {
+            pool: self.pool.stats(),
+            backward_runs: self.backward_runs,
+            grad_nodes: self.grad_nodes,
+            skipped_nodes: self.skipped_nodes,
+            pruned_nodes: self.pruned_nodes,
+        }
+    }
+
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        if !requires_grad {
+            self.pruned_nodes += 1;
+        }
         self.nodes.push(Node {
             value,
             grad: None,
@@ -773,6 +819,7 @@ impl Graph {
                 }
             }
         }
+        self.backward_runs += 1;
         if !self.nodes[loss.0].requires_grad {
             // Nothing trainable feeds the loss; there are no gradients to
             // produce.
@@ -784,8 +831,10 @@ impl Graph {
 
         for i in (0..=loss.0).rev() {
             let Some(up) = self.nodes[i].grad.take() else {
+                self.skipped_nodes += 1;
                 continue;
             };
+            self.grad_nodes += 1;
             // Take the op out to appease the borrow checker, then restore it.
             let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
             self.apply_backward(i, &op, &up);
@@ -1460,7 +1509,7 @@ mod tests {
     #[test]
     fn reset_reuses_buffers_with_zero_steady_state_misses() {
         let mut g = Graph::new();
-        let mut run_step = |g: &mut Graph| {
+        let run_step = |g: &mut Graph| {
             let x = g.constant_with(4, 3, |buf| {
                 for (i, v) in buf.iter_mut().enumerate() {
                     *v = (i as f64 * 0.37).sin();
@@ -1487,6 +1536,42 @@ mod tests {
             "steady-state steps must not allocate"
         );
         assert!(g.pool_stats().hits > 0);
+    }
+
+    #[test]
+    fn snapshot_counters_track_backward_and_pruning() {
+        let mut g = Graph::new();
+        assert_eq!(g.snapshot(), GraphStats::default());
+
+        // Without pruning, nothing counts as pruned.
+        let x = g.constant(Tensor::from_row(&[2.0]));
+        let y = g.square(x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let s = g.snapshot();
+        assert_eq!(s.backward_runs, 1);
+        assert_eq!(s.grad_nodes, 3);
+        assert_eq!(s.skipped_nodes, 0);
+        assert_eq!(s.pruned_nodes, 0);
+        assert_eq!(s.pool, g.pool_stats());
+
+        // With pruning, the constant leaf is built pruned; backward never
+        // delivers a gradient to it, so its visit is counted as skipped.
+        g.reset();
+        g.set_pruning(true);
+        let c = g.constant(Tensor::from_row(&[1.5]));
+        let p = g.param(ParamId(0), Tensor::from_row(&[0.5]));
+        let sum = g.add(c, p);
+        let loss = g.sum_all(sum);
+        g.backward(loss);
+        let s2 = g.snapshot();
+        assert_eq!(s2.backward_runs, 2);
+        assert!(s2.pruned_nodes >= 1, "constant leaf must be pruned");
+        assert!(
+            s2.skipped_nodes >= 1,
+            "the pruned constant must be skipped in backward"
+        );
+        assert!(s2.grad_nodes > s.grad_nodes);
     }
 
     #[test]

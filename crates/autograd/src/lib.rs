@@ -46,7 +46,7 @@ mod pool;
 mod store;
 mod tensor;
 
-pub use graph::{Graph, ParamId, Var};
+pub use graph::{Graph, GraphStats, ParamId, Var};
 pub use pool::{BufferPool, PoolStats};
 pub use store::ParamStore;
 pub use tensor::Tensor;

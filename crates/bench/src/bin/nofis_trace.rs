@@ -1,0 +1,282 @@
+//! Offline reader for NOFIS JSONL run traces (written via
+//! `NOFIS_TRACE_FILE` / `JsonlSink`).
+//!
+//! ```text
+//! nofis-trace check   TRACE.jsonl      # schema-validate, exit 1 if invalid
+//! nofis-trace summary TRACE.jsonl      # per-stage table + estimate summary
+//! nofis-trace diff    A.jsonl B.jsonl  # compare two runs stage by stage
+//! ```
+//!
+//! `summary` reconstructs the run from the structured records alone: the
+//! `train.stage` spans carry per-stage wall time, step counts, retries,
+//! oracle spend, and buffer-pool traffic (from which allocations per step
+//! are derived); the `estimate` span carries the accepted fallback rung.
+//! `diff` lines up two traces by stage number to compare timings and
+//! resource spend — e.g. before/after a performance change.
+
+use nofis_telemetry::trace::{parse_trace, TraceEvent};
+use nofis_telemetry::Kind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match (args.first().map(String::as_str), args.len()) {
+        (Some("check"), 2) => check(&args[1]),
+        (Some("summary"), 2) => summary(&args[1]),
+        (Some("diff"), 3) => diff(&args[1], &args[2]),
+        _ => {
+            eprintln!(
+                "usage: nofis-trace check TRACE.jsonl\n\
+                 \x20      nofis-trace summary TRACE.jsonl\n\
+                 \x20      nofis-trace diff A.jsonl B.jsonl"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(events) => {
+            println!("OK: {} records", events.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One training stage as reconstructed from its `train.stage` span.
+struct StageRow {
+    stage: u64,
+    level: f64,
+    secs: f64,
+    epochs: u64,
+    steps: u64,
+    retries: u64,
+    oracle_calls: u64,
+    pool_misses: u64,
+    truncated: bool,
+    final_loss: f64,
+}
+
+impl StageRow {
+    fn allocs_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.pool_misses as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Stage rows from the completed `train.stage` spans (error-path spans
+/// carry no fields and are skipped).
+fn stage_rows(events: &[TraceEvent]) -> Vec<StageRow> {
+    events
+        .iter()
+        .filter(|e| e.kind == Kind::Span && e.name == "train.stage" && e.field("stage").is_some())
+        .map(|e| StageRow {
+            stage: e.u64_field("stage").unwrap_or(0),
+            level: e.f64_field("level").unwrap_or(f64::NAN),
+            secs: e.duration_us.unwrap_or(0) as f64 / 1e6,
+            epochs: e.u64_field("epochs").unwrap_or(0),
+            steps: e.u64_field("steps").unwrap_or(0),
+            retries: e.u64_field("retries").unwrap_or(0),
+            oracle_calls: e.u64_field("oracle_calls").unwrap_or(0),
+            pool_misses: e.u64_field("pool_misses").unwrap_or(0),
+            truncated: e.bool_field("truncated").unwrap_or(false),
+            final_loss: e.f64_field("final_loss").unwrap_or(f64::NAN),
+        })
+        .collect()
+}
+
+/// The accepted estimation outcome from the `estimate` span, if present.
+fn estimate_row(events: &[TraceEvent]) -> Option<&TraceEvent> {
+    events
+        .iter()
+        .find(|e| e.kind == Kind::Span && e.name == "estimate")
+}
+
+fn summary(path: &str) -> ExitCode {
+    let events = match load(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        println!("empty trace");
+        return ExitCode::SUCCESS;
+    }
+    let first_ts = events.iter().map(|e| e.ts_us).min().unwrap_or(0);
+    let last_ts = events
+        .iter()
+        .map(|e| e.ts_us + e.duration_us.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    println!(
+        "trace: {} records spanning {:.3} s",
+        events.len(),
+        (last_ts - first_ts) as f64 / 1e6
+    );
+    if let Some(start) = events.iter().find(|e| e.name == "train.start") {
+        println!(
+            "run: dim {}, <= {} stages, budget {}",
+            start.u64_field("dim").unwrap_or(0),
+            start.u64_field("max_stages").unwrap_or(0),
+            start
+                .u64_field("budget")
+                .filter(|&b| b != u64::MAX)
+                .map_or_else(|| "unlimited".into(), |b| b.to_string()),
+        );
+    }
+
+    let rows = stage_rows(&events);
+    if rows.is_empty() {
+        println!("no completed training stages in trace");
+    } else {
+        println!(
+            "{:>5} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>12} {:>12}",
+            "stage",
+            "level",
+            "time(s)",
+            "epochs",
+            "steps",
+            "retries",
+            "oracle",
+            "allocs/step",
+            "final_loss"
+        );
+        for r in &rows {
+            println!(
+                "{:>5} {:>9.3} {:>9.3} {:>7} {:>7} {:>8} {:>8} {:>12.2} {:>12.4}{}",
+                r.stage,
+                r.level,
+                r.secs,
+                r.epochs,
+                r.steps,
+                r.retries,
+                r.oracle_calls,
+                r.allocs_per_step(),
+                r.final_loss,
+                if r.truncated { "  (truncated)" } else { "" }
+            );
+        }
+        let total_calls: u64 = rows.iter().map(|r| r.oracle_calls).sum();
+        let total_secs: f64 = rows.iter().map(|r| r.secs).sum();
+        let rollbacks = events.iter().filter(|e| e.name == "train.rollback").count();
+        println!(
+            "training: {} stages, {:.3} s, {} oracle calls, {} rollbacks",
+            rows.len(),
+            total_secs,
+            total_calls,
+            rollbacks
+        );
+    }
+
+    let attempts = events.iter().filter(|e| e.name == "estimate.rung").count();
+    if let Some(est) = estimate_row(&events) {
+        println!(
+            "estimate: rung {} (rank {}), estimate {:e}, hits {}, ess {:.1}, \
+             {} oracle calls, {:.3} s, {} rung attempts",
+            est.str_field("rung").unwrap_or("?"),
+            est.u64_field("rank").unwrap_or(0),
+            est.f64_field("estimate").unwrap_or(f64::NAN),
+            est.u64_field("hits").unwrap_or(0),
+            est.f64_field("ess").unwrap_or(f64::NAN),
+            est.u64_field("oracle_calls").unwrap_or(0),
+            est.duration_us.unwrap_or(0) as f64 / 1e6,
+            attempts
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn pct(a: f64, b: f64) -> String {
+    if a <= 0.0 {
+        "n/a".into()
+    } else {
+        format!("{:+.1}%", (b - a) / a * 100.0)
+    }
+}
+
+fn diff(path_a: &str, path_b: &str) -> ExitCode {
+    let (events_a, events_b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows_a = stage_rows(&events_a);
+    let rows_b = stage_rows(&events_b);
+    println!("A = {path_a}\nB = {path_b}");
+    let stages: Vec<u64> = {
+        let mut s: Vec<u64> = rows_a
+            .iter()
+            .chain(rows_b.iter())
+            .map(|r| r.stage)
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    for stage in stages {
+        let a = rows_a.iter().find(|r| r.stage == stage);
+        let b = rows_b.iter().find(|r| r.stage == stage);
+        match (a, b) {
+            (Some(a), Some(b)) => println!(
+                "stage {stage}: time {:.3}s -> {:.3}s ({}), steps {} -> {}, \
+                 oracle {} -> {}, allocs/step {:.2} -> {:.2}",
+                a.secs,
+                b.secs,
+                pct(a.secs, b.secs),
+                a.steps,
+                b.steps,
+                a.oracle_calls,
+                b.oracle_calls,
+                a.allocs_per_step(),
+                b.allocs_per_step(),
+            ),
+            (Some(_), None) => println!("stage {stage}: only in A"),
+            (None, Some(_)) => println!("stage {stage}: only in B"),
+            (None, None) => unreachable!("stage came from one of the row sets"),
+        }
+    }
+    let total = |rows: &[StageRow]| -> (f64, u64) {
+        (
+            rows.iter().map(|r| r.secs).sum(),
+            rows.iter().map(|r| r.oracle_calls).sum(),
+        )
+    };
+    let (secs_a, calls_a) = total(&rows_a);
+    let (secs_b, calls_b) = total(&rows_b);
+    println!(
+        "training total: time {secs_a:.3}s -> {secs_b:.3}s ({}), oracle {calls_a} -> {calls_b}",
+        pct(secs_a, secs_b)
+    );
+    match (estimate_row(&events_a), estimate_row(&events_b)) {
+        (Some(a), Some(b)) => println!(
+            "estimate: rung {} -> {}, estimate {:e} -> {:e}, ess {:.1} -> {:.1}",
+            a.str_field("rung").unwrap_or("?"),
+            b.str_field("rung").unwrap_or("?"),
+            a.f64_field("estimate").unwrap_or(f64::NAN),
+            b.f64_field("estimate").unwrap_or(f64::NAN),
+            a.f64_field("ess").unwrap_or(f64::NAN),
+            b.f64_field("ess").unwrap_or(f64::NAN),
+        ),
+        (Some(_), None) => println!("estimate: only in A"),
+        (None, Some(_)) => println!("estimate: only in B"),
+        (None, None) => {}
+    }
+    ExitCode::SUCCESS
+}

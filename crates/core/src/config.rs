@@ -103,6 +103,14 @@ pub struct NofisConfig {
     /// use; [`Nofis::new`](crate::Nofis::new) records this preference, so
     /// construct the estimator before anything else touches the pool.
     pub threads: Option<usize>,
+    /// Telemetry sink selection, applied (idempotently, process-wide) by
+    /// [`Nofis::new`](crate::Nofis::new). The `NOFIS_LOG` and
+    /// `NOFIS_TRACE_FILE` environment variables override the corresponding
+    /// fields. The default is fully disabled — every telemetry site then
+    /// costs a single relaxed atomic load. Telemetry observes the run but
+    /// never influences it: with sinks on or off, all numeric results are
+    /// bitwise identical (DESIGN.md §10).
+    pub telemetry: nofis_telemetry::Settings,
 }
 
 impl Default for NofisConfig {
@@ -128,6 +136,7 @@ impl Default for NofisConfig {
             max_grad_norm: Some(100.0),
             stage_retries: 2,
             threads: None,
+            telemetry: nofis_telemetry::Settings::default(),
         }
     }
 }
@@ -236,7 +245,7 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         ConfigError {
             message: message.into(),
         }

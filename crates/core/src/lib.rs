@@ -32,6 +32,15 @@
 //! truncates gracefully rather than overruns.
 //!
 //! See the crate-level example on [`Nofis`] for end-to-end usage.
+//!
+//! # Telemetry
+//!
+//! The pipeline is instrumented with structured telemetry (spans, counters,
+//! gauges, events) from `nofis_telemetry`, re-exported here as
+//! [`telemetry`]. Sinks are selected via [`NofisConfig::telemetry`] (or the
+//! `NOFIS_LOG` / `NOFIS_TRACE_FILE` environment variables) and applied by
+//! [`Nofis::new`]. Telemetry observes the run but never influences it —
+//! results are bitwise identical with sinks on or off (DESIGN.md §10).
 
 #![deny(missing_docs)]
 
@@ -46,3 +55,5 @@ pub use error::NofisError;
 pub use proposal::FlowProposal;
 pub use report::StageReport;
 pub use train::{Nofis, TrainedNofis};
+
+pub use nofis_telemetry as telemetry;

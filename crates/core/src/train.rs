@@ -7,6 +7,7 @@ use nofis_prob::{
     DefensiveMixture, FallbackRung, IsResult, LimitState, Proposal, StandardGaussian,
     WeightDiagnostics, LN_2PI,
 };
+use nofis_telemetry as tele;
 use rand::Rng;
 
 /// Epoch-loss magnitude beyond which training is declared divergent (a
@@ -92,13 +93,23 @@ impl Nofis {
     /// When [`NofisConfig::threads`] is set, the preference is recorded for
     /// the process-wide `nofis_parallel` pool. The pool is sized on first
     /// use, so construct the estimator before other parallel work runs; a
-    /// `NOFIS_THREADS` environment variable still takes precedence.
+    /// `NOFIS_THREADS` environment variable still takes precedence and is
+    /// validated here — a malformed value (e.g. `NOFIS_THREADS=fourx`) is a
+    /// configuration error, never a silent fallback.
+    ///
+    /// Telemetry sinks from [`NofisConfig::telemetry`] (overridable via
+    /// `NOFIS_LOG` / `NOFIS_TRACE_FILE`) are installed process-wide on the
+    /// first `Nofis::new` call; later calls leave them untouched.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if the configuration is invalid.
+    /// Returns [`ConfigError`] if the configuration is invalid, the
+    /// `NOFIS_THREADS` environment variable is not a positive integer, or a
+    /// requested trace file cannot be created.
     pub fn new(config: NofisConfig) -> Result<Self, ConfigError> {
         config.validate()?;
+        nofis_parallel::env_threads_checked().map_err(|e| ConfigError::new(e.to_string()))?;
+        tele::init(&config.telemetry).map_err(|e| ConfigError::new(e.to_string()))?;
         if let Some(threads) = config.threads {
             nofis_parallel::set_thread_override(threads);
         }
@@ -183,7 +194,21 @@ impl Nofis {
         let mut g = Graph::new();
         g.set_pruning(cfg.prune_frozen);
 
+        tele::event(tele::Level::Info, "train.start")
+            .field("dim", dim)
+            .field("max_stages", max_stages)
+            .field("layers_per_stage", k)
+            .field("budget", oracle.budget())
+            .emit();
+
         for stage in 0..max_stages {
+            // Stage-boundary readings for the per-stage telemetry deltas.
+            // Plain u64 reads — never fed back into the computation.
+            let stage_calls_start = oracle.used();
+            let stage_stats_start = g.snapshot();
+            let mut stage_steps = 0u64;
+            let mut stage_span = tele::span(tele::Level::Info, "train.stage");
+
             // --- Pick this stage's threshold. ---
             let level = match &cfg.levels {
                 Levels::Fixed(v) => v[stage],
@@ -242,6 +267,12 @@ impl Nofis {
                             // previous threshold, stalling the schedule.
                             q = q.min(prev - 0.05 * prev.abs());
                         }
+                        tele::event(tele::Level::Debug, "train.pilot")
+                            .field("stage", stage + 1)
+                            .field("granted", granted)
+                            .field("quantile", q)
+                            .field("frac_fail", frac_fail)
+                            .emit();
                         if q <= 0.0 {
                             0.0
                         } else {
@@ -251,6 +282,10 @@ impl Nofis {
                 }
             };
             levels.push(level);
+            tele::event(tele::Level::Info, "train.stage.start")
+                .field("stage", stage + 1)
+                .field("level", level)
+                .emit();
 
             // --- Freeze everything before this stage's block. ---
             if cfg.freeze {
@@ -286,6 +321,11 @@ impl Nofis {
                                 // least one full epoch at the target event,
                                 // so the proposal is usable as-is.
                                 truncated = true;
+                                tele::event(tele::Level::Warn, "train.truncated")
+                                    .field("stage", stage + 1)
+                                    .field("epoch", epoch)
+                                    .field("used", oracle.used())
+                                    .emit();
                                 break 'epochs;
                             }
                             return Err(budget_error(
@@ -334,6 +374,18 @@ impl Nofis {
                         }
                         g.backward(loss);
                         opt.step_fused(&mut store, &g);
+                        stage_steps += 1;
+                        if tele::enabled(tele::Level::Trace) {
+                            let mut step = tele::event(tele::Level::Trace, "train.step")
+                                .field("stage", stage + 1)
+                                .field("epoch", epoch)
+                                .field("n", n)
+                                .field("loss", chunk_loss);
+                            if let Some(norm) = opt.last_grad_norm() {
+                                step = step.field("grad_norm", norm);
+                            }
+                            step.emit();
+                        }
                         epoch_loss += chunk_loss * n as f64;
                     }
                     epoch_loss /= consumed as f64;
@@ -341,6 +393,11 @@ impl Nofis {
                         divergence = Some((epoch, format!("epoch loss = {epoch_loss}")));
                         break 'epochs;
                     }
+                    tele::event(tele::Level::Debug, "train.epoch")
+                        .field("stage", stage + 1)
+                        .field("epoch", epoch)
+                        .field("loss", epoch_loss)
+                        .emit();
                     stage_losses.push(epoch_loss);
                     if epoch_loss < best_loss {
                         // Checkpoint the parameters that *produced* this
@@ -353,6 +410,11 @@ impl Nofis {
                 match divergence {
                     None => break (stage_losses, best_loss, truncated),
                     Some((epoch, message)) => {
+                        tele::event(tele::Level::Warn, "train.divergence")
+                            .field("stage", stage + 1)
+                            .field("epoch", epoch)
+                            .field("detail", message.as_str())
+                            .emit();
                         retries += 1;
                         if retries > cfg.stage_retries {
                             return Err(NofisError::TrainingDiverged {
@@ -366,6 +428,11 @@ impl Nofis {
                         // gentler learning rate and fresh optimizer state.
                         store = best_store;
                         lr *= 0.5;
+                        tele::event(tele::Level::Warn, "train.rollback")
+                            .field("stage", stage + 1)
+                            .field("retries", retries)
+                            .field("lr", lr)
+                            .emit();
                     }
                 }
             };
@@ -381,6 +448,68 @@ impl Nofis {
                 learning_rate: lr,
                 truncated,
             });
+
+            // Close the stage span with its summary and per-stage resource
+            // deltas (oracle spend, buffer-pool traffic, pruning work) —
+            // `nofis-trace` derives allocs/step and calls/step from these.
+            if stage_span.is_enabled() {
+                let stats = g.snapshot();
+                let stage_calls = oracle.used() - stage_calls_start;
+                let pool_hits = stats.pool.hits - stage_stats_start.pool.hits;
+                let pool_misses = stats.pool.misses - stage_stats_start.pool.misses;
+                stage_span.field("stage", stage + 1);
+                stage_span.field("level", level);
+                stage_span.field("epochs", stage_losses.len());
+                stage_span.field("steps", stage_steps);
+                stage_span.field("retries", retries);
+                stage_span.field("best_loss", best_loss);
+                stage_span.field(
+                    "final_loss",
+                    stage_losses.last().copied().unwrap_or(f64::NAN),
+                );
+                stage_span.field("truncated", truncated);
+                stage_span.field("oracle_calls", stage_calls);
+                stage_span.field("pool_hits", pool_hits);
+                stage_span.field("pool_misses", pool_misses);
+                stage_span.field(
+                    "skipped_nodes",
+                    stats.skipped_nodes - stage_stats_start.skipped_nodes,
+                );
+                stage_span.field(
+                    "pruned_nodes",
+                    stats.pruned_nodes - stage_stats_start.pruned_nodes,
+                );
+                tele::counter(tele::Level::Debug, "oracle.calls", oracle.used()).emit();
+                tele::counter(tele::Level::Debug, "autograd.pool.hits", stats.pool.hits).emit();
+                tele::counter(
+                    tele::Level::Debug,
+                    "autograd.pool.misses",
+                    stats.pool.misses,
+                )
+                .emit();
+                tele::counter(
+                    tele::Level::Debug,
+                    "autograd.backward.skipped",
+                    stats.skipped_nodes,
+                )
+                .emit();
+                tele::counter(
+                    tele::Level::Debug,
+                    "autograd.tape.pruned",
+                    stats.pruned_nodes,
+                )
+                .emit();
+                let requests = stats.pool.requests();
+                if requests > 0 {
+                    tele::gauge(
+                        tele::Level::Debug,
+                        "autograd.pool.hit_rate",
+                        stats.pool.hits as f64 / requests as f64,
+                    )
+                    .emit();
+                }
+            }
+            stage_span.end();
             loss_history.push(stage_losses);
 
             if truncated || level == 0.0 {
@@ -395,6 +524,30 @@ impl Nofis {
         // Defensive: the fixed schedule always ends at 0.0 by validation;
         // the adaptive one breaks on 0.0 or forces it at the last stage.
         debug_assert_eq!(levels.last().copied(), Some(0.0));
+
+        if tele::enabled(tele::Level::Info) {
+            tele::event(tele::Level::Info, "train.end")
+                .field("stages", levels.len())
+                .field("oracle_calls", oracle.used())
+                .emit();
+            // The pool is guaranteed built by now (every minibatch ran
+            // through it), so this read never constructs anything.
+            let usage = nofis_parallel::global().usage();
+            tele::counter(tele::Level::Debug, "parallel.runs", usage.runs).emit();
+            tele::counter(tele::Level::Debug, "parallel.chunks", usage.chunks).emit();
+            tele::counter(
+                tele::Level::Debug,
+                "parallel.inline_runs",
+                usage.inline_runs,
+            )
+            .emit();
+            tele::counter(
+                tele::Level::Debug,
+                "parallel.helper_dispatches",
+                usage.helper_dispatches,
+            )
+            .emit();
+        }
 
         Ok(TrainedNofis {
             flow,
@@ -559,6 +712,34 @@ impl TrainedNofis {
         n_is: usize,
         rng: &mut impl Rng,
     ) -> Result<(IsResult, Option<WeightDiagnostics>), NofisError> {
+        let mut span = tele::span(tele::Level::Info, "estimate");
+        let calls_start = oracle.used();
+        let result = self.estimate_ladder(oracle, n_is, rng);
+        if span.is_enabled() {
+            match &result {
+                Ok((r, _)) => {
+                    span.field("rung", rung_label(&r.rung));
+                    span.field("rank", r.rung.rank());
+                    span.field("estimate", r.estimate);
+                    span.field("hits", r.hits);
+                    span.field("ess", r.effective_sample_size);
+                }
+                Err(e) => span.field("error", e.to_string()),
+            }
+            span.field("oracle_calls", oracle.used() - calls_start);
+        }
+        span.end();
+        result
+    }
+
+    /// The ladder body of [`TrainedNofis::estimate_within`], separated so
+    /// the telemetry span wraps every return path exactly once.
+    fn estimate_ladder<L: LimitState + ?Sized + Sync>(
+        &self,
+        oracle: &BudgetedOracle<'_, L>,
+        n_is: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(IsResult, Option<WeightDiagnostics>), NofisError> {
         if n_is == 0 {
             return Err(NofisError::InvalidInput {
                 message: "n_is must be positive".into(),
@@ -654,6 +835,15 @@ impl TrainedNofis {
             effective_sample_size: mc.hits as f64,
             rung: FallbackRung::PlainMonteCarlo,
         };
+        tele::event(tele::Level::Debug, "estimate.rung")
+            .field("rung", rung_label(&result.rung))
+            .field("rank", result.rung.rank())
+            .field("granted", n)
+            .field("estimate", result.estimate)
+            .field("hits", result.hits)
+            .field("ess", result.effective_sample_size)
+            .field("healthy", true)
+            .emit();
         Ok((result, None))
     }
 
@@ -682,6 +872,11 @@ fn run_rung<L: LimitState + ?Sized + Sync, Q: Proposal + ?Sized + Sync>(
 ) -> Option<(IsResult, Option<WeightDiagnostics>)> {
     let n = oracle.grant(n_is);
     if n == 0 {
+        tele::event(tele::Level::Debug, "estimate.rung")
+            .field("rung", rung_label(&rung))
+            .field("rank", rung.rank())
+            .field("granted", 0u64)
+            .emit();
         return None;
     }
     let (result, log_weights) = importance_sampling_detailed(oracle, 0.0, proposal, p, n, rng);
@@ -691,7 +886,37 @@ fn run_rung<L: LimitState + ?Sized + Sync, Q: Proposal + ?Sized + Sync>(
     } else {
         Some(WeightDiagnostics::from_log_weights(&finite))
     };
-    Some((result.with_rung(rung), diag))
+    let out = (result.with_rung(rung), diag);
+    if tele::enabled(tele::Level::Debug) {
+        let (r, d) = &out;
+        let mut ev = tele::event(tele::Level::Debug, "estimate.rung")
+            .field("rung", rung_label(&r.rung))
+            .field("rank", r.rung.rank())
+            .field("granted", n)
+            .field("estimate", r.estimate)
+            .field("hits", r.hits)
+            .field("ess", r.effective_sample_size)
+            .field("healthy", rung_is_healthy(&out));
+        if let Some(d) = d {
+            ev = ev.field("max_weight_share", d.max_weight_share);
+            if let Some(tail) = d.hill_tail_index {
+                ev = ev.field("hill_tail_index", tail);
+            }
+        }
+        ev.emit();
+    }
+    Some(out)
+}
+
+/// Stable machine-readable label for a ladder rung in telemetry fields
+/// (`FallbackRung`'s `Display` is for humans and carries parameters).
+fn rung_label(rung: &FallbackRung) -> &'static str {
+    match rung {
+        FallbackRung::FinalProposal => "final_proposal",
+        FallbackRung::StageProposal { .. } => "stage_proposal",
+        FallbackRung::DefensiveMixture { .. } => "defensive_mixture",
+        FallbackRung::PlainMonteCarlo => "plain_monte_carlo",
+    }
 }
 
 /// A rung is accepted when its estimate is finite, it saw at least one

@@ -42,6 +42,9 @@ pub struct Adam {
     /// parameter injected at several tape positions without allocating.
     seen: Vec<u64>,
     seen_gen: u64,
+    /// Global gradient L2 norm measured by the last clipping pass (see
+    /// [`Adam::last_grad_norm`]).
+    last_grad_norm: Option<f64>,
 }
 
 impl Adam {
@@ -75,6 +78,7 @@ impl Adam {
             max_grad_norm: None,
             seen: Vec::new(),
             seen_gen: 0,
+            last_grad_norm: None,
         }
     }
 
@@ -99,6 +103,15 @@ impl Adam {
     /// The global-norm clipping threshold, if enabled.
     pub fn max_grad_norm(&self) -> Option<f64> {
         self.max_grad_norm
+    }
+
+    /// The joint L2 norm of the gradients seen by the most recent
+    /// [`Adam::step`] / [`Adam::step_fused`], measured by the clipping
+    /// pass *before* any rescaling. `None` until a step has run with
+    /// clipping enabled — the norm is a byproduct of clipping, never an
+    /// extra pass. Exposed for telemetry (per-step `grad_norm` events).
+    pub fn last_grad_norm(&self) -> Option<f64> {
+        self.last_grad_norm
     }
 
     /// Current learning rate.
@@ -132,6 +145,7 @@ impl Adam {
                     .map(|(_, grad)| grad.as_slice().iter().map(|g| g * g).sum::<f64>())
                     .sum();
                 let norm = sq_sum.sqrt();
+                self.last_grad_norm = Some(norm);
                 if norm > max_norm {
                     max_norm / norm
                 } else {
@@ -188,6 +202,7 @@ impl Adam {
                     }
                 });
                 let norm = sq_sum.sqrt();
+                self.last_grad_norm = Some(norm);
                 if norm > max_norm {
                     max_norm / norm
                 } else {
@@ -347,6 +362,25 @@ mod tests {
         let m = opt.moments[live.index()].as_ref().unwrap().0.item();
         assert!((m - 0.05).abs() < 1e-12, "m = {m}");
         assert_eq!(store.get(frozen).item(), 0.0);
+    }
+
+    #[test]
+    fn last_grad_norm_reports_preclip_norm() {
+        let mut store = ParamStore::new();
+        let a = store.add(Tensor::scalar(0.0));
+        let b = store.add(Tensor::from_row(&[0.0, 0.0]));
+        let grads = vec![(a, Tensor::scalar(3.0)), (b, Tensor::from_row(&[4.0, 0.0]))];
+
+        // Without clipping the norm is never measured.
+        let mut plain = Adam::new(0.1);
+        assert_eq!(plain.last_grad_norm(), None);
+        plain.step(&mut store.clone(), &grads);
+        assert_eq!(plain.last_grad_norm(), None);
+
+        // With clipping, the pre-rescale norm is reported (3-4-0 → 5).
+        let mut clipped = Adam::new(0.1).with_max_grad_norm(Some(1.0));
+        clipped.step(&mut store, &grads);
+        assert!((clipped.last_grad_norm().unwrap() - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -47,10 +47,33 @@ pub mod chunks;
 pub mod kernels;
 mod pool;
 
-pub use pool::ThreadPool;
+pub use pool::{PoolUsage, ThreadPool};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// `NOFIS_THREADS` was set to something other than a positive integer.
+///
+/// Invalid values are a configuration error, not a preference to be
+/// silently ignored: a CI job that typos `NOFIS_THREADS=fourx` must fail
+/// loudly rather than quietly benchmark on the wrong thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsEnvError {
+    /// The rejected value of the environment variable.
+    pub raw: String,
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid NOFIS_THREADS value {:?}: expected a positive integer",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
 
 /// Unset sentinel for the explicit thread-count override.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -82,25 +105,88 @@ pub fn thread_override() -> Option<usize> {
     }
 }
 
-/// Parses `NOFIS_THREADS` (positive integer) from the environment.
-fn env_threads() -> Option<usize> {
-    std::env::var("NOFIS_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+/// Parses `NOFIS_THREADS` from the environment with typed rejection.
+///
+/// Returns `Ok(None)` when the variable is unset or empty (an empty value
+/// is treated as "cleared", matching `VAR= cmd` shell usage), `Ok(Some(n))`
+/// for a positive integer, and [`ThreadsEnvError`] for anything else —
+/// callers surface this as a configuration error instead of silently
+/// falling back to a default thread count.
+pub fn env_threads_checked() -> Result<Option<usize>, ThreadsEnvError> {
+    match std::env::var("NOFIS_THREADS") {
+        Ok(raw) => parse_threads(&raw),
+        Err(_) => Ok(None),
+    }
 }
 
-/// Resolves the default worker count: `NOFIS_THREADS` env var, else the
-/// explicit [`set_thread_override`], else `available_parallelism()`.
+/// Parsing half of [`env_threads_checked`], split out for direct testing.
+fn parse_threads(raw: &str) -> Result<Option<usize>, ThreadsEnvError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(ThreadsEnvError {
+            raw: raw.to_string(),
+        }),
+    }
+}
+
+/// Where the resolved default thread count came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// The `NOFIS_THREADS` environment variable.
+    Env,
+    /// An explicit [`set_thread_override`] (e.g. `NofisConfig::threads`).
+    Override,
+    /// `std::thread::available_parallelism()` (or 1 when unknown).
+    Available,
+}
+
+impl ThreadSource {
+    /// Short label used in telemetry events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThreadSource::Env => "env",
+            ThreadSource::Override => "override",
+            ThreadSource::Available => "available_parallelism",
+        }
+    }
+}
+
+/// Resolves the default worker count and where it came from:
+/// `NOFIS_THREADS` env var, else the explicit [`set_thread_override`],
+/// else `available_parallelism()`.
+///
+/// # Panics
+///
+/// Panics on an invalid `NOFIS_THREADS` value. Configuration front doors
+/// (e.g. `Nofis::new`) validate via [`env_threads_checked`] first and
+/// return a typed error; the panic here is the backstop for code paths
+/// that reach the global pool without passing through validation.
+pub fn resolve_default_threads() -> (usize, ThreadSource) {
+    let env = env_threads_checked().unwrap_or_else(|e| panic!("{e}"));
+    if let Some(n) = env {
+        return (n.max(1), ThreadSource::Env);
+    }
+    if let Some(n) = thread_override() {
+        return (n.max(1), ThreadSource::Override);
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (n.max(1), ThreadSource::Available)
+}
+
+/// Resolves the default worker count; see [`resolve_default_threads`].
+///
+/// # Panics
+///
+/// Panics on an invalid `NOFIS_THREADS` value (see
+/// [`resolve_default_threads`]).
 pub fn default_threads() -> usize {
-    env_threads()
-        .or_else(thread_override)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
+    resolve_default_threads().0
 }
 
 /// Initializes the global pool with an explicit thread count, returning
@@ -120,8 +206,19 @@ pub fn init_global(threads: usize) -> bool {
 
 /// The process-wide shared pool, built on first use with
 /// [`default_threads`] workers.
+///
+/// Pool construction emits a one-shot `parallel.pool.init` telemetry
+/// startup event recording the resolved thread count and where it came
+/// from (`NOFIS_THREADS`, an explicit override, or the machine default).
 pub fn global() -> &'static ThreadPool {
-    GLOBAL_POOL.get_or_init(|| ThreadPool::new(default_threads()))
+    GLOBAL_POOL.get_or_init(|| {
+        let (threads, source) = resolve_default_threads();
+        nofis_telemetry::event(nofis_telemetry::Level::Info, "parallel.pool.init")
+            .field("threads", threads)
+            .field("source", source.as_str())
+            .emit();
+        ThreadPool::new(threads)
+    })
 }
 
 #[cfg(test)]
@@ -141,6 +238,27 @@ mod tests {
         assert_eq!(thread_override(), Some(3));
         set_thread_override(0);
         assert_eq!(thread_override(), None);
+    }
+
+    #[test]
+    fn threads_env_parsing_is_typed() {
+        assert_eq!(parse_threads("4"), Ok(Some(4)));
+        assert_eq!(parse_threads("  2 "), Ok(Some(2)));
+        assert_eq!(parse_threads(""), Ok(None));
+        assert_eq!(parse_threads("   "), Ok(None));
+        for bad in ["0", "-1", "four", "2.5", "2x"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert_eq!(err.raw, bad);
+            assert!(err.to_string().contains("NOFIS_THREADS"));
+            assert!(err.to_string().contains(bad));
+        }
+    }
+
+    #[test]
+    fn thread_source_labels() {
+        assert_eq!(ThreadSource::Env.as_str(), "env");
+        assert_eq!(ThreadSource::Override.as_str(), "override");
+        assert_eq!(ThreadSource::Available.as_str(), "available_parallelism");
     }
 
     #[test]

@@ -9,10 +9,27 @@
 //! irrelevant to the results, which always land in chunk-indexed slots.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Cumulative utilization counters for a [`ThreadPool`], read via
+/// [`ThreadPool::usage`]. Purely observational (telemetry gauges):
+/// counters never influence scheduling, so chunk assignment and results
+/// are unaffected by whether anyone reads them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolUsage {
+    /// Chunked runs executed (`run_chunks` calls with work).
+    pub runs: u64,
+    /// Total chunks executed across all runs.
+    pub chunks: u64,
+    /// Runs small enough (or pools small enough) to execute entirely on
+    /// the calling thread without dispatching helpers.
+    pub inline_runs: u64,
+    /// Helper jobs dispatched to worker threads across all runs.
+    pub helper_dispatches: u64,
+}
 
 /// Type-erased unit of work executed by a pool worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -103,6 +120,10 @@ pub struct ThreadPool {
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    runs: AtomicU64,
+    chunks: AtomicU64,
+    inline_runs: AtomicU64,
+    helper_dispatches: AtomicU64,
 }
 
 impl ThreadPool {
@@ -135,12 +156,26 @@ impl ThreadPool {
             tx: Some(tx),
             handles,
             threads,
+            runs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            inline_runs: AtomicU64::new(0),
+            helper_dispatches: AtomicU64::new(0),
         }
     }
 
     /// Total execution lanes (spawned workers + the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshot of cumulative utilization counters.
+    pub fn usage(&self) -> PoolUsage {
+        PoolUsage {
+            runs: self.runs.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            inline_runs: self.inline_runs.load(Ordering::Relaxed),
+            helper_dispatches: self.helper_dispatches.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs `f(chunk_index)` for every index in `0..n_chunks`, spreading
@@ -162,13 +197,18 @@ impl ThreadPool {
         if n_chunks == 0 {
             return;
         }
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
         let helpers = (self.threads - 1).min(n_chunks - 1);
         if helpers == 0 {
+            self.inline_runs.fetch_add(1, Ordering::Relaxed);
             for i in 0..n_chunks {
                 f(i);
             }
             return;
         }
+        self.helper_dispatches
+            .fetch_add(helpers as u64, Ordering::Relaxed);
 
         let latch = Arc::new(Latch::new(helpers));
         let next = Arc::new(AtomicUsize::new(0));
@@ -378,6 +418,28 @@ mod tests {
             total.fetch_add(s, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn usage_counters_track_runs_and_chunks() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.usage(), PoolUsage::default());
+        pool.run_chunks(5, |_| {});
+        pool.run_chunks(0, |_| {}); // no-op, not counted
+        let u = pool.usage();
+        assert_eq!(u.runs, 1);
+        assert_eq!(u.chunks, 5);
+        assert_eq!(u.inline_runs, 1);
+        assert_eq!(u.helper_dispatches, 0);
+
+        let pool = ThreadPool::new(4);
+        pool.run_chunks(10, |_| {});
+        pool.run_chunks(1, |_| {}); // single chunk runs inline even on a big pool
+        let u = pool.usage();
+        assert_eq!(u.runs, 2);
+        assert_eq!(u.chunks, 11);
+        assert_eq!(u.inline_runs, 1);
+        assert_eq!(u.helper_dispatches, 3);
     }
 
     #[test]

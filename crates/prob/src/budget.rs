@@ -10,7 +10,32 @@
 //! the request to what is affordable instead of letting the work overrun.
 
 use crate::LimitState;
+use nofis_telemetry as tele;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Emits budget-spend telemetry for a planned/reserved chunk: a
+/// per-grant trace record, plus a debug-level truncation event whenever
+/// the affordable count fell short of the request (the moment a run
+/// starts degrading). Purely observational — never affects the grant.
+fn record_grant(op: &'static str, want: usize, granted: usize, used: u64, budget: u64) {
+    if tele::enabled(tele::Level::Trace) {
+        tele::event(tele::Level::Trace, "budget.grant")
+            .field("op", op)
+            .field("want", want)
+            .field("granted", granted)
+            .field("used", used)
+            .field("budget", budget)
+            .emit();
+    }
+    if granted < want && tele::enabled(tele::Level::Debug) {
+        tele::event(tele::Level::Debug, "budget.truncated")
+            .field("op", op)
+            .field("want", want)
+            .field("granted", granted)
+            .field("remaining", budget.saturating_sub(used))
+            .emit();
+    }
+}
 
 /// A [`LimitState`] wrapper enforcing a hard simulator-call budget.
 ///
@@ -86,7 +111,9 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
     /// budget affords. Returns the affordable count (possibly 0) without
     /// consuming anything; consumption happens as calls are made.
     pub fn grant(&self, want: usize) -> usize {
-        (want as u64).min(self.remaining()) as usize
+        let granted = (want as u64).min(self.remaining()) as usize;
+        record_grant("grant", want, granted, self.used(), self.budget);
+        granted
     }
 
     /// Atomically reserves up to `want` calls, *consuming* them from the
@@ -105,6 +132,7 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
         loop {
             let granted = want.min(self.budget.saturating_sub(cur));
             if granted == 0 {
+                record_grant("reserve", want as usize, 0, cur, self.budget);
                 return 0;
             }
             match self.used.compare_exchange(
@@ -113,7 +141,16 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return granted as usize,
+                Ok(_) => {
+                    record_grant(
+                        "reserve",
+                        want as usize,
+                        granted as usize,
+                        cur + granted,
+                        self.budget,
+                    );
+                    return granted as usize;
+                }
                 Err(actual) => cur = actual,
             }
         }

@@ -1,0 +1,402 @@
+//! Minimal hand-rolled JSON writer and reader for the JSONL trace format.
+//!
+//! The workspace's vendored `serde` stand-in is serialize-only, and this
+//! crate is dependency-free by design, so both directions live here: the
+//! writer turns an [`Event`] into one JSON object per line, the reader
+//! parses those lines back for `nofis-trace` and for round-trip tests.
+
+use crate::{Event, Value};
+
+/// Appends `s` JSON-escaped (without surrounding quotes) to `out`.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_into(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{}` on f64 is the shortest round-trippable decimal form,
+                // and a valid JSON number.
+                out.push_str(&f.to_string());
+            } else if f.is_nan() {
+                out.push_str("\"NaN\"");
+            } else if *f > 0.0 {
+                out.push_str("\"inf\"");
+            } else {
+                out.push_str("\"-inf\"");
+            }
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Serializes one event as a single JSON object (no trailing newline).
+pub fn event_to_json(ev: &Event) -> String {
+    let mut out = String::with_capacity(96 + 24 * ev.fields.len());
+    out.push_str("{\"ts_us\":");
+    out.push_str(&ev.ts_us.to_string());
+    out.push_str(",\"kind\":\"");
+    out.push_str(ev.kind.as_str());
+    out.push_str("\",\"level\":\"");
+    out.push_str(ev.level.as_str());
+    out.push_str("\",\"name\":\"");
+    escape_into(&mut out, ev.name);
+    out.push('"');
+    if let Some(d) = ev.duration_us {
+        out.push_str(",\"duration_us\":");
+        out.push_str(&d.to_string());
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in ev.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, k);
+        out.push_str("\":");
+        value_into(&mut out, v);
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (reader side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number. Integers beyond 2^53 lose precision; trace
+    /// timestamps and counters stay far below that for realistic runs.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String coercion.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+pub fn parse_json(input: &str) -> Result<Json, JsonParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> JsonParseError {
+    JsonParseError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonParseError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected {:?}", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Json,
+) -> Result<Json, JsonParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected {lit:?}")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad utf-8"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, &format!("invalid number {text:?}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "utf-8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kind, Level};
+
+    #[test]
+    fn writer_escapes_and_formats() {
+        let ev = Event {
+            ts_us: 12,
+            kind: Kind::Event,
+            level: Level::Warn,
+            name: "a\"b",
+            fields: vec![
+                ("n", Value::U64(3)),
+                ("x", Value::F64(-0.5)),
+                ("nan", Value::F64(f64::NAN)),
+                ("inf", Value::F64(f64::INFINITY)),
+                ("ok", Value::Bool(true)),
+                ("s", Value::Str("line\nbreak".into())),
+            ],
+            duration_us: None,
+        };
+        let line = event_to_json(&ev);
+        assert_eq!(
+            line,
+            "{\"ts_us\":12,\"kind\":\"event\",\"level\":\"warn\",\"name\":\"a\\\"b\",\
+             \"fields\":{\"n\":3,\"x\":-0.5,\"nan\":\"NaN\",\"inf\":\"inf\",\
+             \"ok\":true,\"s\":\"line\\nbreak\"}}"
+        );
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let ev = Event {
+            ts_us: 987654,
+            kind: Kind::Span,
+            level: Level::Info,
+            name: "train.stage",
+            fields: vec![
+                ("stage", Value::U64(2)),
+                ("best_loss", Value::F64(-3.25e-2)),
+                ("truncated", Value::Bool(false)),
+                ("rung", Value::Str("defensive mixture".into())),
+            ],
+            duration_us: Some(1500),
+        };
+        let parsed = parse_json(&event_to_json(&ev)).unwrap();
+        assert_eq!(parsed.get("ts_us").unwrap().as_f64(), Some(987654.0));
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("span"));
+        assert_eq!(parsed.get("duration_us").unwrap().as_f64(), Some(1500.0));
+        let fields = parsed.get("fields").unwrap();
+        assert_eq!(fields.get("stage").unwrap().as_f64(), Some(2.0));
+        assert_eq!(fields.get("best_loss").unwrap().as_f64(), Some(-0.0325));
+        assert_eq!(fields.get("truncated"), Some(&Json::Bool(false)));
+        assert_eq!(
+            fields.get("rung").unwrap().as_str(),
+            Some("defensive mixture")
+        );
+    }
+
+    #[test]
+    fn parser_handles_structures_and_rejects_garbage() {
+        let doc = parse_json("{\"a\":[1,2.5,null,\"x\\u0041\"],\"b\":{}}").unwrap();
+        match doc.get("a").unwrap() {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[0].as_f64(), Some(1.0));
+                assert_eq!(items[2], Json::Null);
+                assert_eq!(items[3].as_str(), Some("xA"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("01a").is_err());
+    }
+}

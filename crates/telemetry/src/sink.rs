@@ -1,0 +1,254 @@
+//! Built-in sinks: pretty stderr, JSONL file, in-memory collector.
+
+use crate::json::event_to_json;
+use crate::{Event, Level};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for telemetry events.
+///
+/// Sinks must be cheap and infallible from the caller's point of view:
+/// `record` is called from hot code (possibly from multiple threads) and
+/// must never panic or block on anything slower than a short mutex; I/O
+/// errors are swallowed (telemetry must never take a run down).
+pub trait Sink: Send + Sync {
+    /// The most verbose level this sink wants; events below this severity
+    /// threshold are filtered out before `record` is called.
+    fn min_level(&self) -> Level;
+
+    /// Delivers one event.
+    fn record(&self, ev: &Event);
+
+    /// Flushes any buffering. Default: no-op.
+    fn flush(&self) {}
+}
+
+// ---------------------------------------------------------------------------
+// StderrSink
+// ---------------------------------------------------------------------------
+
+/// Human-readable one-line-per-event sink on stderr.
+///
+/// Format: `[   1.234567s INFO ] train.stage.start stage=1 level=8 (+12.3ms)`
+/// — timestamp since process start, level, name, `key=value` fields, and
+/// a parenthesized duration for spans.
+pub struct StderrSink {
+    min_level: Level,
+    // One writer lock so concurrent events produce whole lines.
+    out: Mutex<()>,
+}
+
+impl StderrSink {
+    /// A stderr sink accepting events at or above `min_level` severity.
+    pub fn new(min_level: Level) -> Self {
+        StderrSink {
+            min_level,
+            out: Mutex::new(()),
+        }
+    }
+
+    fn format(ev: &Event) -> String {
+        let secs = ev.ts_us as f64 / 1e6;
+        let mut line = format!("[{secs:>11.6}s {:<5}] {}", ev.level.as_str(), ev.name);
+        for (k, v) in &ev.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v.to_string());
+        }
+        if let Some(d) = ev.duration_us {
+            line.push_str(&format!(" (+{:.3}ms)", d as f64 / 1e3));
+        }
+        line
+    }
+}
+
+impl Sink for StderrSink {
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    fn record(&self, ev: &Event) {
+        let line = Self::format(ev);
+        let _guard = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // Ignore I/O errors: a closed stderr must not kill the run.
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+/// Machine-readable sink: one JSON object per line, flushed per event so
+/// the file is a valid (truncated) trace even if the process dies
+/// mid-run. Accepts everything ([`Level::Trace`]) — a trace file is the
+/// full record; filtering happens at read time.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn min_level(&self) -> Level {
+        Level::Trace
+    }
+
+    fn record(&self, ev: &Event) {
+        let line = event_to_json(ev);
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    fn flush(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemorySink
+// ---------------------------------------------------------------------------
+
+/// Collects events in memory for test assertions.
+pub struct MemorySink {
+    min_level: Level,
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A collector accepting events at or above `min_level` severity.
+    pub fn new(min_level: Level) -> Self {
+        MemorySink {
+            min_level,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Recorded events with the given name (in order).
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    fn record(&self, ev: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kind, Value};
+
+    fn sample(name: &'static str, level: Level) -> Event {
+        Event {
+            ts_us: 1_234_567,
+            kind: Kind::Event,
+            level,
+            name,
+            fields: vec![("stage", Value::U64(1)), ("loss", Value::F64(-2.5))],
+            duration_us: None,
+        }
+    }
+
+    #[test]
+    fn stderr_format_is_one_line() {
+        let mut ev = sample("train.stage.start", Level::Info);
+        ev.kind = Kind::Span;
+        ev.duration_us = Some(2_500);
+        let line = StderrSink::format(&ev);
+        assert_eq!(
+            line,
+            "[   1.234567s info ] train.stage.start stage=1 loss=-2.5 (+2.500ms)"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn memory_sink_collects_and_filters_by_name() {
+        let sink = MemorySink::new(Level::Debug);
+        assert!(sink.is_empty());
+        sink.record(&sample("a", Level::Info));
+        sink.record(&sample("b", Level::Info));
+        sink.record(&sample("a", Level::Warn));
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.named("a").len(), 2);
+        assert_eq!(sink.events().len(), 3);
+        assert_eq!(sink.take().len(), 3);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("nofis_telemetry_test");
+        let path = dir.join("sink_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&sample("x", Level::Info));
+        sink.record(&sample("y", Level::Debug));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let doc = crate::json::parse_json(line).unwrap();
+            assert!(doc.get("ts_us").is_some());
+            assert!(doc.get("fields").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -9,8 +9,13 @@
 //! in the tail of a 2-D standard Gaussian, P ≈ 4.7e-6), compares against
 //! plain Monte Carlo at the same budget, and prints the measured call
 //! counts.
+//!
+//! Progress telemetry prints to stderr by default (stage spans, ladder
+//! outcome). Tune it with `NOFIS_LOG` (`off`, `error`, `warn`, `info`,
+//! `debug`, `trace`), and write a full machine-readable JSONL trace with
+//! `NOFIS_TRACE_FILE=run.jsonl` (inspect it with `nofis-trace summary`).
 
-use nofis_core::{Levels, Nofis, NofisConfig};
+use nofis_core::{telemetry, Levels, Nofis, NofisConfig};
 use nofis_prob::{log_error, monte_carlo, CountingOracle};
 use nofis_testcases::Leaf;
 use rand::rngs::StdRng;
@@ -33,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 400,
         n_is: 1_000,
         tau: 20.0,
+        // Per-stage progress on stderr; NOFIS_LOG / NOFIS_TRACE_FILE
+        // override this (telemetry never changes the numbers).
+        telemetry: telemetry::Settings::stderr(telemetry::Level::Info),
         ..Default::default()
     };
     let nofis = Nofis::new(config)?;

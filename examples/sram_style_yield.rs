@@ -13,7 +13,7 @@
 
 use nofis_baselines::{RareEventEstimator, SusEstimator};
 use nofis_circuit::{Circuit, MosParams, Node};
-use nofis_core::{Levels, Nofis, NofisConfig};
+use nofis_core::{telemetry, Levels, Nofis, NofisConfig};
 use nofis_prob::{CountingOracle, LimitState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,6 +107,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // τ only has meaning relative to the scale of g.
         tau: 80.0,
         minibatch: 4096,
+        // Stage progress on stderr (the adaptive schedule's pilot levels
+        // show up live); NOFIS_LOG / NOFIS_TRACE_FILE override.
+        telemetry: telemetry::Settings::stderr(telemetry::Level::Info),
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(7);

@@ -34,4 +34,5 @@ pub use nofis_nn as nn;
 pub use nofis_parallel as parallel;
 pub use nofis_photonics as photonics;
 pub use nofis_prob as prob;
+pub use nofis_telemetry as telemetry;
 pub use nofis_testcases as testcases;
