@@ -6,6 +6,7 @@
 //! ```text
 //! bench_train_step [--smoke]
 //! bench_train_step --assert-telemetry-overhead [--smoke]
+//! bench_train_step --assert-checkpoint-overhead [--smoke]
 //! ```
 //!
 //! `--assert-telemetry-overhead` runs an A/B pair in-process: the same
@@ -305,6 +306,99 @@ fn assert_telemetry_overhead(smoke: bool) {
     println!("OK: disabled telemetry adds <1% to bench_train_step");
 }
 
+/// The per-step checkpoint site of `nofis_core`'s training loop with
+/// checkpointing *disabled* (`NofisConfig::checkpoint == None`), replicated
+/// shape-for-shape: one `Option` discriminant check per optimizer step,
+/// plus the `due()` modulo when a checkpointer exists. The disabled lane —
+/// the one the <1% contract covers — takes only the `None` branch.
+#[inline(never)]
+fn checkpoint_step_site(every_steps: &mut Option<u64>, global_step: u64) -> bool {
+    if let Some(every) = every_steps.as_mut() {
+        global_step % *every == 0
+    } else {
+        false
+    }
+}
+
+/// Checks that disabled checkpointing adds under 1% to the steady-state
+/// training step, with the same measure-each-factor-where-it-is-measurable
+/// methodology as [`assert_telemetry_overhead`]: the step time from timed
+/// step windows, the disabled-site cost from a tight loop over the exact
+/// replicated site, then the asserted ratio. `SITES_PER_STEP` is generous
+/// — the production loop runs ONE due-check per optimizer step.
+fn assert_checkpoint_overhead(smoke: bool) {
+    const SITES_PER_STEP: f64 = 4.0;
+    let cfg = CONFIGS[0];
+    let (mut store, flow, mut opt) = build(cfg);
+    let mut g = Graph::new();
+    g.set_fusion(true);
+    g.set_pruning(true);
+    let mut next_seed = 0u64;
+    let mut step = |g: &mut Graph, seed: u64| {
+        g.reset();
+        run_step(g, &mut store, &flow, &mut opt, cfg, true, seed)
+    };
+    for _ in 0..16 {
+        assert!(step(&mut g, next_seed).is_finite());
+        next_seed += 1;
+    }
+
+    let min_ms = if smoke { 30 } else { 150 };
+    let mut steps = 16u64;
+    let step_window = loop {
+        let t = Instant::now();
+        for _ in 0..steps {
+            step(&mut g, next_seed);
+            next_seed += 1;
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= min_ms || steps >= 1 << 20 {
+            break elapsed;
+        }
+        steps *= 2;
+    };
+    let mut best_step = step_window;
+    for _ in 0..2 {
+        let t = Instant::now();
+        for _ in 0..steps {
+            step(&mut g, next_seed);
+            next_seed += 1;
+        }
+        best_step = best_step.min(t.elapsed());
+    }
+    let step_ns = best_step.as_nanos() as f64 / steps as f64;
+
+    let site_iters: u64 = if smoke { 2_000_000 } else { 10_000_000 };
+    let mut best_site = std::time::Duration::MAX;
+    let mut due = 0u64;
+    for _ in 0..3 {
+        let mut disabled: Option<u64> = None;
+        let t = Instant::now();
+        for i in 0..site_iters {
+            let cp = std::hint::black_box(&mut disabled);
+            if checkpoint_step_site(cp, std::hint::black_box(i)) {
+                due += 1;
+            }
+        }
+        best_site = best_site.min(t.elapsed());
+    }
+    std::hint::black_box(due);
+    let site_ns = best_site.as_nanos() as f64 / site_iters as f64;
+
+    let overhead = SITES_PER_STEP * site_ns / step_ns;
+    println!(
+        "checkpoint overhead (disabled): {step_ns:.0} ns/step, {site_ns:.2} ns/site \
+         x {SITES_PER_STEP} sites/step = {:+.4}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.01,
+        "disabled checkpoint sites add {:.4}% (>1%) to the training step",
+        overhead * 100.0
+    );
+    println!("OK: disabled checkpointing adds <1% to bench_train_step");
+}
+
 /// Times one (config, variant) cell in-process and prints its record. The
 /// global thread pool must already be pinned (via `NOFIS_THREADS`) by the
 /// parent.
@@ -449,6 +543,7 @@ fn spawn_worker(variant: &str, config: &str, threads: usize, smoke: bool) -> Cel
 fn main() {
     let mut smoke = false;
     let mut overhead_check = false;
+    let mut ckpt_overhead_check = false;
     let mut worker_variant: Option<String> = None;
     let mut worker_config: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -456,6 +551,7 @@ fn main() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--assert-telemetry-overhead" => overhead_check = true,
+            "--assert-checkpoint-overhead" => ckpt_overhead_check = true,
             "--worker" => worker_variant = Some(args.next().expect("--worker VARIANT")),
             "--config" => worker_config = Some(args.next().expect("--config NAME")),
             other => panic!("unknown argument {other}"),
@@ -463,6 +559,10 @@ fn main() {
     }
     if overhead_check {
         assert_telemetry_overhead(smoke);
+        return;
+    }
+    if ckpt_overhead_check {
+        assert_checkpoint_overhead(smoke);
         return;
     }
     if let Some(variant) = worker_variant {

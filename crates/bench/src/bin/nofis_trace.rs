@@ -183,6 +183,71 @@ fn summary(path: &str) -> ExitCode {
         );
     }
 
+    // Durability and chaos lines: checkpoint traffic and injected faults
+    // (present only in checkpointed / fault-plan runs).
+    let ckpt_writes = events.iter().filter(|e| e.name == "ckpt.write").count();
+    let ckpt_write_failures = events
+        .iter()
+        .filter(|e| e.name == "ckpt.write_failed")
+        .count();
+    let ckpt_corrupt = events
+        .iter()
+        .filter(|e| e.name == "ckpt.corrupt_skipped")
+        .count();
+    if ckpt_writes + ckpt_write_failures + ckpt_corrupt > 0 {
+        print!(
+            "checkpoints: {ckpt_writes} written, {ckpt_write_failures} write failures, \
+             {ckpt_corrupt} corrupt skipped"
+        );
+        if let Some(last) = events.iter().filter(|e| e.name == "ckpt.write").next_back() {
+            print!(
+                ", newest generation {} at step {}",
+                last.u64_field("generation").unwrap_or(0),
+                last.u64_field("global_step").unwrap_or(0)
+            );
+        }
+        println!();
+    }
+    if let Some(load) = events.iter().find(|e| e.name == "ckpt.load") {
+        println!(
+            "resumed: generation {} at step {} ({}, {} oracle calls already spent)",
+            load.u64_field("generation").unwrap_or(0),
+            load.u64_field("global_step").unwrap_or(0),
+            if load.bool_field("done").unwrap_or(false) {
+                "training complete"
+            } else if load.bool_field("mid_stage").unwrap_or(false) {
+                "mid-stage"
+            } else {
+                "stage boundary"
+            },
+            load.u64_field("oracle_spent").unwrap_or(0)
+        );
+    }
+    let injected: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.name == "fault.injected")
+        .collect();
+    if !injected.is_empty() {
+        let mut by_kind: Vec<(String, usize)> = Vec::new();
+        for e in &injected {
+            let key = format!(
+                "{}@{}",
+                e.str_field("kind").unwrap_or("?"),
+                e.str_field("site").unwrap_or("?")
+            );
+            match by_kind.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => by_kind.push((key, 1)),
+            }
+        }
+        let detail: Vec<String> = by_kind.iter().map(|(k, n)| format!("{n}x {k}")).collect();
+        println!(
+            "faults injected: {} ({})",
+            injected.len(),
+            detail.join(", ")
+        );
+    }
+
     let attempts = events.iter().filter(|e| e.name == "estimate.rung").count();
     if let Some(est) = estimate_row(&events) {
         println!(

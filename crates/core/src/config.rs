@@ -1,3 +1,4 @@
+use crate::checkpoint::CheckpointConfig;
 use std::fmt;
 
 /// How the nested subset-event thresholds `a_1 > a_2 > … > a_M = 0` are
@@ -111,6 +112,17 @@ pub struct NofisConfig {
     /// never influences it: with sinks on or off, all numeric results are
     /// bitwise identical (DESIGN.md §10).
     pub telemetry: nofis_telemetry::Settings,
+    /// Durable checkpointing (DESIGN.md §11): when set, training writes
+    /// atomic, CRC-guarded snapshots into
+    /// [`CheckpointConfig::dir`] every
+    /// [`CheckpointConfig::every_steps`] optimizer steps and at every stage
+    /// boundary, and [`Nofis::run_or_resume`](crate::Nofis::run_or_resume)
+    /// continues a killed run bitwise-identically from the newest valid
+    /// one. The `NOFIS_CKPT_DIR`, `NOFIS_CKPT_EVERY`, and `NOFIS_CKPT_KEEP`
+    /// environment variables override (or, for `NOFIS_CKPT_DIR` alone,
+    /// enable) this field in [`Nofis::new`](crate::Nofis::new). `None` (the
+    /// default) writes nothing and costs one branch per optimizer step.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for NofisConfig {
@@ -137,6 +149,7 @@ impl Default for NofisConfig {
             stage_retries: 2,
             threads: None,
             telemetry: nofis_telemetry::Settings::default(),
+            checkpoint: None,
         }
     }
 }
@@ -153,6 +166,9 @@ impl NofisConfig {
             Levels::Fixed(v) => {
                 if v.is_empty() {
                     return Err(ConfigError::new("levels must be non-empty"));
+                }
+                if v.iter().any(|x| !x.is_finite()) {
+                    return Err(ConfigError::new("levels must all be finite"));
                 }
                 if v.windows(2).any(|w| w[1] >= w[0]) {
                     return Err(ConfigError::new("levels must be strictly decreasing"));
@@ -222,6 +238,61 @@ impl NofisConfig {
         }
         if self.threads == Some(0) {
             return Err(ConfigError::new("threads must be positive when set"));
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.dir.as_os_str().is_empty() {
+                return Err(ConfigError::new("checkpoint dir must be non-empty"));
+            }
+            if ckpt.every_steps == 0 {
+                return Err(ConfigError::new("checkpoint every_steps must be positive"));
+            }
+            if ckpt.keep == 0 {
+                return Err(ConfigError::new("checkpoint keep must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the `NOFIS_CKPT_DIR` / `NOFIS_CKPT_EVERY` / `NOFIS_CKPT_KEEP`
+    /// environment overrides to [`NofisConfig::checkpoint`] (called by
+    /// [`Nofis::new`](crate::Nofis::new)). `NOFIS_CKPT_DIR` enables
+    /// checkpointing even when the field is `None`; the interval and
+    /// rotation variables refine whichever configuration results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a set variable does not parse as a
+    /// positive integer.
+    pub(crate) fn apply_checkpoint_env(&mut self) -> Result<(), ConfigError> {
+        fn positive(name: &str) -> Result<Option<u64>, ConfigError> {
+            match std::env::var(name) {
+                Ok(raw) => match raw.trim().parse::<u64>() {
+                    Ok(v) if v > 0 => Ok(Some(v)),
+                    _ => Err(ConfigError::new(format!(
+                        "{name} must be a positive integer, got {raw:?}"
+                    ))),
+                },
+                Err(_) => Ok(None),
+            }
+        }
+        if let Ok(dir) = std::env::var("NOFIS_CKPT_DIR") {
+            if dir.is_empty() {
+                return Err(ConfigError::new("NOFIS_CKPT_DIR must be non-empty"));
+            }
+            match &mut self.checkpoint {
+                Some(ckpt) => ckpt.dir = dir.into(),
+                None => self.checkpoint = Some(CheckpointConfig::new(dir)),
+            }
+        }
+        if let Some(every) = positive("NOFIS_CKPT_EVERY")? {
+            if let Some(ckpt) = &mut self.checkpoint {
+                ckpt.every_steps = every;
+            }
+        }
+        if let Some(keep) = positive("NOFIS_CKPT_KEEP")? {
+            if let Some(ckpt) = &mut self.checkpoint {
+                ckpt.keep = keep as usize;
+            }
         }
         Ok(())
     }
@@ -336,9 +407,69 @@ mod tests {
                 threads: Some(0),
                 ..base.clone()
             },
+            NofisConfig {
+                minibatch: 0,
+                ..base.clone()
+            },
+            NofisConfig {
+                levels: Levels::Fixed(vec![f64::NAN, 0.0]),
+                ..base.clone()
+            },
+            NofisConfig {
+                levels: Levels::Fixed(vec![f64::INFINITY, 1.0, 0.0]),
+                ..base.clone()
+            },
+            NofisConfig {
+                checkpoint: Some(CheckpointConfig {
+                    dir: "ckpts".into(),
+                    every_steps: 0,
+                    keep: 3,
+                }),
+                ..base.clone()
+            },
+            NofisConfig {
+                checkpoint: Some(CheckpointConfig {
+                    dir: "ckpts".into(),
+                    every_steps: 25,
+                    keep: 0,
+                }),
+                ..base.clone()
+            },
+            NofisConfig {
+                checkpoint: Some(CheckpointConfig {
+                    dir: "".into(),
+                    every_steps: 25,
+                    keep: 3,
+                }),
+                ..base.clone()
+            },
         ] {
-            assert!(bad.validate().is_err());
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
         }
+        assert!(
+            NofisConfig {
+                minibatch: base.batch_size,
+                ..base.clone()
+            }
+            .validate()
+            .is_ok(),
+            "minibatch == batch_size is the paper's one-step-per-epoch setting"
+        );
+        assert!(
+            NofisConfig {
+                minibatch: base.batch_size + 1,
+                ..base.clone()
+            }
+            .validate()
+            .is_ok(),
+            "an oversized minibatch is clamped to batch_size by the train loop"
+        );
+        assert!(NofisConfig {
+            checkpoint: Some(CheckpointConfig::new("ckpts")),
+            ..base.clone()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

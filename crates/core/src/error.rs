@@ -48,6 +48,15 @@ pub enum NofisError {
         /// What was degenerate and where.
         context: String,
     },
+    /// A durable checkpoint could not be used for resume (it was written by
+    /// a different configuration, a different problem dimension, or its
+    /// contents do not fit the flow it claims to describe). Corrupt *files*
+    /// never produce this error — the loader skips them — only a valid
+    /// checkpoint that contradicts the current run does.
+    Checkpoint {
+        /// Why the checkpoint was rejected.
+        message: String,
+    },
 }
 
 impl fmt::Display for NofisError {
@@ -76,6 +85,9 @@ impl fmt::Display for NofisError {
             ),
             NofisError::DegenerateProposal { context } => {
                 write!(f, "degenerate proposal: {context}")
+            }
+            NofisError::Checkpoint { message } => {
+                write!(f, "unusable checkpoint: {message}")
             }
         }
     }

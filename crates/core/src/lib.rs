@@ -29,7 +29,11 @@
 //! degenerate (recorded in
 //! [`IsResult::rung`](nofis_prob::IsResult)), and
 //! [`NofisConfig::max_calls`] enforces a hard simulator-call budget that
-//! truncates gracefully rather than overruns.
+//! truncates gracefully rather than overruns. With
+//! [`NofisConfig::checkpoint`] set, training additionally writes durable,
+//! CRC-guarded snapshots ([`checkpoint`]) and
+//! [`Nofis::run_or_resume`] continues a killed run bitwise-identically from
+//! the newest valid one (DESIGN.md §11).
 //!
 //! See the crate-level example on [`Nofis`] for end-to-end usage.
 //!
@@ -44,12 +48,14 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod error;
 mod proposal;
 mod report;
 mod train;
 
+pub use checkpoint::CheckpointConfig;
 pub use config::{ConfigError, Levels, NofisConfig};
 pub use error::NofisError;
 pub use proposal::FlowProposal;

@@ -1,14 +1,16 @@
+use crate::checkpoint::{self, Checkpoint, Checkpointer, StagePartial};
 use crate::{ConfigError, FlowProposal, Levels, NofisConfig, NofisError, StageReport};
-use nofis_autograd::{Graph, ParamStore};
+use nofis_autograd::{Graph, ParamId, ParamStore, Tensor};
 use nofis_flows::RealNvp;
-use nofis_nn::Adam;
+use nofis_nn::{Adam, AdamState};
 use nofis_prob::{
     batch_values, importance_sampling_detailed, monte_carlo, quantile, BudgetedOracle,
     DefensiveMixture, FallbackRung, IsResult, LimitState, Proposal, StandardGaussian,
     WeightDiagnostics, LN_2PI,
 };
 use nofis_telemetry as tele;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng, StateRng};
 
 /// Epoch-loss magnitude beyond which training is declared divergent (a
 /// healthy tempered-KL loss is `O(D)`, nowhere near this).
@@ -101,15 +103,25 @@ impl Nofis {
     /// `NOFIS_LOG` / `NOFIS_TRACE_FILE`) are installed process-wide on the
     /// first `Nofis::new` call; later calls leave them untouched.
     ///
+    /// Checkpoint settings from [`NofisConfig::checkpoint`] are combined
+    /// with the `NOFIS_CKPT_DIR` / `NOFIS_CKPT_EVERY` / `NOFIS_CKPT_KEEP`
+    /// environment variables (the environment wins; `NOFIS_CKPT_DIR` alone
+    /// enables checkpointing). A `NOFIS_FAULT_PLAN` variable, if present,
+    /// installs the deterministic fault-injection plan (`nofis_faults`)
+    /// process-wide on the first call.
+    ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the configuration is invalid, the
-    /// `NOFIS_THREADS` environment variable is not a positive integer, or a
-    /// requested trace file cannot be created.
-    pub fn new(config: NofisConfig) -> Result<Self, ConfigError> {
+    /// `NOFIS_THREADS` / `NOFIS_CKPT_*` environment variables do not parse,
+    /// a requested trace file cannot be created, or `NOFIS_FAULT_PLAN` is
+    /// malformed.
+    pub fn new(mut config: NofisConfig) -> Result<Self, ConfigError> {
+        config.apply_checkpoint_env()?;
         config.validate()?;
         nofis_parallel::env_threads_checked().map_err(|e| ConfigError::new(e.to_string()))?;
         tele::init(&config.telemetry).map_err(|e| ConfigError::new(e.to_string()))?;
+        nofis_faults::init_from_env().map_err(|e| ConfigError::new(e.to_string()))?;
         if let Some(threads) = config.threads {
             nofis_parallel::set_thread_override(threads);
         }
@@ -145,10 +157,10 @@ impl Nofis {
     ///   final stage has completed at least one epoch.
     /// * [`NofisError::DegenerateProposal`] if an adaptive pilot batch
     ///   scores NaN on every sample.
-    pub fn train<L: LimitState + ?Sized + Sync>(
+    pub fn train<L: LimitState + ?Sized + Sync, R: Rng + StateRng>(
         &self,
         limit_state: &L,
-        rng: &mut impl Rng,
+        rng: &mut R,
     ) -> Result<TrainedNofis, NofisError> {
         let oracle = BudgetedOracle::new(limit_state, self.config.max_calls.unwrap_or(u64::MAX));
         self.train_within(&oracle, rng)
@@ -161,10 +173,23 @@ impl Nofis {
     /// # Errors
     ///
     /// Same as [`Nofis::train`].
-    pub fn train_within<L: LimitState + ?Sized + Sync>(
+    pub fn train_within<L: LimitState + ?Sized + Sync, R: Rng + StateRng>(
         &self,
         oracle: &BudgetedOracle<'_, L>,
-        rng: &mut impl Rng,
+        rng: &mut R,
+    ) -> Result<TrainedNofis, NofisError> {
+        self.train_impl(oracle, rng, None)
+    }
+
+    /// The single training loop behind both [`Nofis::train_within`] and
+    /// [`Nofis::resume_within`]. One code path means a resumed run and an
+    /// uninterrupted run execute literally the same instructions after the
+    /// restore point, which is what makes resume bitwise-exact.
+    fn train_impl<L: LimitState + ?Sized + Sync, R: Rng + StateRng>(
+        &self,
+        oracle: &BudgetedOracle<'_, L>,
+        rng: &mut R,
+        resume: Option<ResumeRun>,
     ) -> Result<TrainedNofis, NofisError> {
         let dim = oracle.dim();
         if dim < 2 {
@@ -178,13 +203,48 @@ impl Nofis {
         let k = cfg.layers_per_stage;
         let max_stages = cfg.levels.max_stages();
 
-        let mut store = ParamStore::new();
-        let flow = RealNvp::new(&mut store, dim, max_stages * k, cfg.hidden, cfg.s_max, rng);
-        let base = StandardGaussian::new(dim);
+        let fingerprint = checkpoint::config_fingerprint(cfg, dim);
+        let mut checkpointer = cfg.checkpoint.clone().map(Checkpointer::new);
 
-        let mut levels: Vec<f64> = Vec::new();
-        let mut loss_history: Vec<Vec<f64>> = Vec::new();
-        let mut stage_reports: Vec<StageReport> = Vec::new();
+        let flow;
+        let mut store;
+        let mut levels: Vec<f64>;
+        let mut loss_history: Vec<Vec<f64>>;
+        let mut stage_reports: Vec<StageReport>;
+        let start_stage: usize;
+        let mut global_step: u64;
+        let mut carry: Option<StageCarry>;
+        match resume {
+            None => {
+                store = ParamStore::new();
+                flow = RealNvp::new(&mut store, dim, max_stages * k, cfg.hidden, cfg.s_max, rng);
+                levels = Vec::new();
+                loss_history = Vec::new();
+                stage_reports = Vec::new();
+                start_stage = 0;
+                global_step = 0;
+                carry = None;
+            }
+            Some(r) => {
+                flow = r.flow;
+                store = r.store;
+                levels = r.levels;
+                loss_history = r.loss_history;
+                stage_reports = r.stage_reports;
+                start_stage = r.start_stage;
+                global_step = r.global_step;
+                carry = r.carry;
+            }
+        }
+        // A mid-stage resume re-enters a stage whose threshold was already
+        // chosen (and, for adaptive schedules, already paid for in pilot
+        // calls): the first loop iteration restores it instead of picking.
+        let mut resume_level = if carry.is_some() {
+            levels.last().copied()
+        } else {
+            None
+        };
+        let base = StandardGaussian::new(dim);
 
         // One tape for the whole run: `reset()` between minibatches keeps
         // the node arena and recycles every buffer, so steady-state steps
@@ -201,7 +261,7 @@ impl Nofis {
             .field("budget", oracle.budget())
             .emit();
 
-        for stage in 0..max_stages {
+        for stage in start_stage..max_stages {
             // Stage-boundary readings for the per-stage telemetry deltas.
             // Plain u64 reads — never fed back into the computation.
             let stage_calls_start = oracle.used();
@@ -209,79 +269,85 @@ impl Nofis {
             let mut stage_steps = 0u64;
             let mut stage_span = tele::span(tele::Level::Info, "train.stage");
 
-            // --- Pick this stage's threshold. ---
-            let level = match &cfg.levels {
-                Levels::Fixed(v) => v[stage],
-                Levels::AdaptiveQuantile { p0, pilot, .. } => {
-                    if stage + 1 == max_stages {
-                        0.0
-                    } else {
-                        let granted = oracle.grant(*pilot);
-                        if granted == 0 {
-                            return Err(budget_error(
-                                oracle,
-                                format!("pilot sampling for stage {}", stage + 1),
-                            ));
-                        }
-                        let depth = stage * k;
-                        // Draw serially (the rng is sequential), then score
-                        // the pilot batch across the pool — the granted
-                        // calls were planned above, and the batch values
-                        // come back in sample order.
-                        let xs: Vec<Vec<f64>> = (0..granted)
-                            .map(|_| {
-                                if depth == 0 {
-                                    base.sample(rng)
-                                } else {
-                                    flow.sample(&store, depth, rng).0
-                                }
-                            })
-                            .collect();
-                        let gvals = batch_values(oracle, &xs);
-                        // `quantile` skips NaN scores; if the proposal only
-                        // produces NaN there is nothing to schedule against.
-                        let mut q = quantile(&gvals, *p0);
-                        if q.is_nan() {
-                            return Err(NofisError::DegenerateProposal {
-                                context: format!(
-                                    "every pilot sample for stage {} scored NaN",
-                                    stage + 1
-                                ),
-                            });
-                        }
-                        // Overshoot guard: tempered training gives the stage
-                        // proposal a heavy lower-g tail, which can crash the
-                        // pilot quantile to 0 long before the proposal truly
-                        // covers the failure region. Only allow the schedule
-                        // to land on 0 when the pilot actually observes a
-                        // healthy failure fraction; otherwise descend
-                        // geometrically at most.
-                        let frac_fail =
-                            gvals.iter().filter(|&&g| g <= 0.0).count() as f64 / gvals.len() as f64;
-                        if let Some(&prev) = levels.last() {
-                            if frac_fail < 0.5 * p0 {
-                                q = q.max(0.35 * prev);
-                            }
-                            // Enforce strict decrease: an undertrained stage
-                            // can leave the pilot quantile at (or above) the
-                            // previous threshold, stalling the schedule.
-                            q = q.min(prev - 0.05 * prev.abs());
-                        }
-                        tele::event(tele::Level::Debug, "train.pilot")
-                            .field("stage", stage + 1)
-                            .field("granted", granted)
-                            .field("quantile", q)
-                            .field("frac_fail", frac_fail)
-                            .emit();
-                        if q <= 0.0 {
+            // --- Pick this stage's threshold (restored verbatim on a
+            //     mid-stage resume). ---
+            let level = if let Some(level) = resume_level.take() {
+                level
+            } else {
+                let level = match &cfg.levels {
+                    Levels::Fixed(v) => v[stage],
+                    Levels::AdaptiveQuantile { p0, pilot, .. } => {
+                        if stage + 1 == max_stages {
                             0.0
                         } else {
-                            q
+                            let granted = oracle.grant(*pilot);
+                            if granted == 0 {
+                                return Err(budget_error(
+                                    oracle,
+                                    format!("pilot sampling for stage {}", stage + 1),
+                                ));
+                            }
+                            let depth = stage * k;
+                            // Draw serially (the rng is sequential), then score
+                            // the pilot batch across the pool — the granted
+                            // calls were planned above, and the batch values
+                            // come back in sample order.
+                            let xs: Vec<Vec<f64>> = (0..granted)
+                                .map(|_| {
+                                    if depth == 0 {
+                                        base.sample(rng)
+                                    } else {
+                                        flow.sample(&store, depth, rng).0
+                                    }
+                                })
+                                .collect();
+                            let gvals = batch_values(oracle, &xs);
+                            // `quantile` skips NaN scores; if the proposal only
+                            // produces NaN there is nothing to schedule against.
+                            let mut q = quantile(&gvals, *p0);
+                            if q.is_nan() {
+                                return Err(NofisError::DegenerateProposal {
+                                    context: format!(
+                                        "every pilot sample for stage {} scored NaN",
+                                        stage + 1
+                                    ),
+                                });
+                            }
+                            // Overshoot guard: tempered training gives the stage
+                            // proposal a heavy lower-g tail, which can crash the
+                            // pilot quantile to 0 long before the proposal truly
+                            // covers the failure region. Only allow the schedule
+                            // to land on 0 when the pilot actually observes a
+                            // healthy failure fraction; otherwise descend
+                            // geometrically at most.
+                            let frac_fail = gvals.iter().filter(|&&g| g <= 0.0).count() as f64
+                                / gvals.len() as f64;
+                            if let Some(&prev) = levels.last() {
+                                if frac_fail < 0.5 * p0 {
+                                    q = q.max(0.35 * prev);
+                                }
+                                // Enforce strict decrease: an undertrained stage
+                                // can leave the pilot quantile at (or above) the
+                                // previous threshold, stalling the schedule.
+                                q = q.min(prev - 0.05 * prev.abs());
+                            }
+                            tele::event(tele::Level::Debug, "train.pilot")
+                                .field("stage", stage + 1)
+                                .field("granted", granted)
+                                .field("quantile", q)
+                                .field("frac_fail", frac_fail)
+                                .emit();
+                            if q <= 0.0 {
+                                0.0
+                            } else {
+                                q
+                            }
                         }
                     }
-                }
+                };
+                levels.push(level);
+                level
             };
-            levels.push(level);
             tele::event(tele::Level::Info, "train.stage.start")
                 .field("stage", stage + 1)
                 .field("level", level)
@@ -300,6 +366,15 @@ impl Nofis {
             let mb = cfg.minibatch.min(cfg.batch_size);
             let mut lr = cfg.learning_rate;
             let mut retries = 0usize;
+            // A mid-stage resume enters the retry loop exactly once with the
+            // restored cursor; retries after that start clean, like any
+            // rollback pass.
+            let mut stage_carry = carry.take();
+            if let Some(c) = &stage_carry {
+                lr = c.learning_rate;
+                retries = c.retries;
+                stage_steps = c.stage_steps;
+            }
             let (stage_losses, best_loss, truncated) = loop {
                 let mut opt = Adam::new(lr).with_max_grad_norm(cfg.max_grad_norm);
                 let mut stage_losses = Vec::with_capacity(cfg.epochs);
@@ -307,11 +382,24 @@ impl Nofis {
                 let mut best_store = store.clone();
                 let mut divergence: Option<(usize, String)> = None;
                 let mut truncated = false;
+                let mut start_epoch = 0usize;
+                let mut epoch_carry: Option<(usize, f64, ParamStore)> = None;
+                if let Some(c) = stage_carry.take() {
+                    opt.restore_state(c.adam);
+                    stage_losses = c.stage_losses;
+                    best_loss = c.best_loss;
+                    best_store = c.best_store;
+                    start_epoch = c.epoch;
+                    epoch_carry = Some((c.consumed, c.epoch_loss, c.epoch_start));
+                }
 
-                'epochs: for epoch in 0..cfg.epochs {
-                    let epoch_start = store.clone();
-                    let mut epoch_loss = 0.0;
-                    let mut consumed = 0usize;
+                'epochs: for epoch in start_epoch..cfg.epochs {
+                    let (mut consumed, mut epoch_loss, epoch_start) = match epoch_carry.take() {
+                        Some((consumed, epoch_loss, epoch_start)) => {
+                            (consumed, epoch_loss, epoch_start)
+                        }
+                        None => (0usize, 0.0, store.clone()),
+                    };
                     while consumed < cfg.batch_size {
                         let want = mb.min(cfg.batch_size - consumed);
                         let n = oracle.grant(want);
@@ -341,14 +429,33 @@ impl Nofis {
                         // "safely non-failing, zero gradient" so one broken
                         // subregion cannot poison the whole batch (the call
                         // still counts against the budget).
-                        let gvals = g.external_rowwise_par(z, nofis_parallel::global(), |row| {
-                            let (v, grad) = oracle.value_grad(row);
-                            if v.is_finite() && grad.iter().all(|gi| gi.is_finite()) {
-                                (v, grad)
-                            } else {
-                                (level + 1.0, vec![0.0; dim])
+                        // A panicking worker chunk (pool infrastructure, not
+                        // the oracle — oracle panics are already contained
+                        // in `BudgetedOracle`) is handled like a divergent
+                        // minibatch: roll back to the best checkpoint and
+                        // retry. The pool itself survives a worker panic, so
+                        // retrying is sound.
+                        let eval = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            g.external_rowwise_par(z, nofis_parallel::global(), |row| {
+                                let (v, grad) = oracle.value_grad(row);
+                                if v.is_finite() && grad.iter().all(|gi| gi.is_finite()) {
+                                    (v, grad)
+                                } else {
+                                    (level + 1.0, vec![0.0; dim])
+                                }
+                            })
+                        }));
+                        let gvals = match eval {
+                            Ok(gvals) => gvals,
+                            Err(_) => {
+                                divergence = Some((
+                                    epoch,
+                                    "a worker thread panicked while evaluating the minibatch"
+                                        .into(),
+                                ));
+                                break 'epochs;
                             }
-                        });
+                        };
                         consumed += n;
                         let neg_tau_g = g.scale(gvals, -cfg.tau);
                         let shifted = g.add_scalar(neg_tau_g, cfg.tau * level);
@@ -375,6 +482,7 @@ impl Nofis {
                         g.backward(loss);
                         opt.step_fused(&mut store, &g);
                         stage_steps += 1;
+                        global_step += 1;
                         if tele::enabled(tele::Level::Trace) {
                             let mut step = tele::event(tele::Level::Trace, "train.step")
                                 .field("stage", stage + 1)
@@ -387,6 +495,40 @@ impl Nofis {
                             step.emit();
                         }
                         epoch_loss += chunk_loss * n as f64;
+                        // Mid-stage checkpoint site: the snapshot describes
+                        // the state *after* this optimizer step, so resume
+                        // re-enters the loop at the next minibatch.
+                        if let Some(cp) = &mut checkpointer {
+                            if cp.due(global_step) {
+                                cp.write(&Checkpoint {
+                                    config_fingerprint: fingerprint,
+                                    dim: dim as u64,
+                                    global_step,
+                                    rng_state: rng.save_state(),
+                                    oracle_spent: oracle.spent(),
+                                    done: false,
+                                    levels: levels.clone(),
+                                    loss_history: loss_history.clone(),
+                                    stage_reports: stage_reports.clone(),
+                                    params: snapshot_params(&store),
+                                    frozen: snapshot_frozen(&store),
+                                    partial: Some(StagePartial {
+                                        stage: stage as u64,
+                                        epoch: epoch as u64,
+                                        consumed: consumed as u64,
+                                        epoch_loss,
+                                        stage_losses: stage_losses.clone(),
+                                        best_loss,
+                                        retries: retries as u64,
+                                        learning_rate: lr,
+                                        stage_steps,
+                                        best_params: snapshot_params(&best_store),
+                                        epoch_start_params: snapshot_params(&epoch_start),
+                                        adam: opt.export_state(),
+                                    }),
+                                });
+                            }
+                        }
                     }
                     epoch_loss /= consumed as f64;
                     if !epoch_loss.is_finite() || epoch_loss.abs() > LOSS_DIVERGENCE_LIMIT {
@@ -512,7 +654,27 @@ impl Nofis {
             stage_span.end();
             loss_history.push(stage_losses);
 
-            if truncated || level == 0.0 {
+            let stage_done = truncated || level == 0.0;
+            // Stage-boundary checkpoint site: always written when
+            // checkpointing is on, so a crash between stages costs nothing
+            // and a finished run resumes straight into estimation.
+            if let Some(cp) = &mut checkpointer {
+                cp.write(&Checkpoint {
+                    config_fingerprint: fingerprint,
+                    dim: dim as u64,
+                    global_step,
+                    rng_state: rng.save_state(),
+                    oracle_spent: oracle.spent(),
+                    done: stage_done,
+                    levels: levels.clone(),
+                    loss_history: loss_history.clone(),
+                    stage_reports: stage_reports.clone(),
+                    params: snapshot_params(&store),
+                    frozen: snapshot_frozen(&store),
+                    partial: None,
+                });
+            }
+            if stage_done {
                 // The schedule reached the target event (or the budget
                 // truncated the final stage): stop and save the remaining
                 // budget (further stages at level 0 were observed to
@@ -569,16 +731,278 @@ impl Nofis {
     ///
     /// Same as [`Nofis::train`] plus the estimation errors of
     /// [`TrainedNofis::estimate_within`].
-    pub fn run<L: LimitState + ?Sized + Sync>(
+    pub fn run<L: LimitState + ?Sized + Sync, R: Rng + StateRng>(
         &self,
         limit_state: &L,
-        rng: &mut impl Rng,
+        rng: &mut R,
     ) -> Result<(TrainedNofis, IsResult), NofisError> {
         let oracle = BudgetedOracle::new(limit_state, self.config.max_calls.unwrap_or(u64::MAX));
         let trained = self.train_within(&oracle, rng)?;
         let (result, _diag) = trained.estimate_within(&oracle, self.config.n_is, rng)?;
         Ok((trained, result))
     }
+
+    /// Like [`Nofis::run`], but first tries to continue from the newest
+    /// valid checkpoint in [`NofisConfig::checkpoint`]'s directory. With no
+    /// checkpoint configured, no checkpoint on disk, or an empty directory,
+    /// this is exactly [`Nofis::run`]; with one, the interrupted run is
+    /// continued and produces results bitwise identical to an
+    /// uninterrupted run of the same seed and configuration (DESIGN.md
+    /// §11). Pass the same seeded RNG you would pass a fresh run — its
+    /// state is overwritten from the checkpoint when one is found.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Nofis::run`], plus [`NofisError::Checkpoint`] when the
+    /// newest valid checkpoint belongs to a different configuration or
+    /// problem dimension.
+    pub fn run_or_resume<L: LimitState + ?Sized + Sync, R: Rng + StateRng>(
+        &self,
+        limit_state: &L,
+        rng: &mut R,
+    ) -> Result<(TrainedNofis, IsResult), NofisError> {
+        let oracle = BudgetedOracle::new(limit_state, self.config.max_calls.unwrap_or(u64::MAX));
+        let trained = match self.resume_within(&oracle, rng)? {
+            Some(trained) => trained,
+            None => self.train_within(&oracle, rng)?,
+        };
+        let (result, _diag) = trained.estimate_within(&oracle, self.config.n_is, rng)?;
+        Ok((trained, result))
+    }
+
+    /// Resumes training from the newest valid checkpoint, drawing simulator
+    /// calls from an existing [`BudgetedOracle`] (whose spent-call count is
+    /// restored from the checkpoint, so the hard budget spans the crash).
+    /// Returns `Ok(None)` when there is nothing to resume from — no
+    /// checkpoint configured, or no valid checkpoint on disk — and the
+    /// caller should train from scratch. Corrupt or torn checkpoint files
+    /// are skipped by the loader (falling back to the previous generation),
+    /// never an error here.
+    ///
+    /// # Errors
+    ///
+    /// [`NofisError::Checkpoint`] when the newest valid checkpoint was
+    /// written by a different configuration or dimension, plus the training
+    /// errors of [`Nofis::train_within`] for the continued run.
+    pub fn resume_within<L: LimitState + ?Sized + Sync, R: Rng + StateRng>(
+        &self,
+        oracle: &BudgetedOracle<'_, L>,
+        rng: &mut R,
+    ) -> Result<Option<TrainedNofis>, NofisError> {
+        let Some(ckpt_cfg) = &self.config.checkpoint else {
+            return Ok(None);
+        };
+        let loaded =
+            checkpoint::load_latest(&ckpt_cfg.dir).map_err(|e| NofisError::Checkpoint {
+                message: format!("cannot list {}: {e}", ckpt_cfg.dir.display()),
+            })?;
+        let Some((generation, ckpt)) = loaded else {
+            return Ok(None);
+        };
+
+        let dim = oracle.dim();
+        if dim < 2 {
+            return Err(NofisError::InvalidInput {
+                message: format!(
+                    "NOFIS requires dim >= 2 (RealNVP couplings split coordinates), got {dim}"
+                ),
+            });
+        }
+        if ckpt.dim != dim as u64 {
+            return Err(NofisError::Checkpoint {
+                message: format!(
+                    "checkpoint dimension {} does not match the limit state's {dim}",
+                    ckpt.dim
+                ),
+            });
+        }
+        if ckpt.config_fingerprint != checkpoint::config_fingerprint(&self.config, dim) {
+            return Err(NofisError::Checkpoint {
+                message: "checkpoint was written by a different configuration; clear the \
+                          checkpoint directory (or restore the original configuration) to proceed"
+                    .into(),
+            });
+        }
+        let cfg = &self.config;
+        let k = cfg.layers_per_stage;
+        let max_stages = cfg.levels.max_stages();
+
+        // Rebuild the flow structure with a throwaway RNG — the parameter
+        // values are overwritten from the checkpoint, and the live stream
+        // must stay at its restored position.
+        let mut store = ParamStore::new();
+        let mut init_rng = StdRng::seed_from_u64(0);
+        let flow = RealNvp::new(
+            &mut store,
+            dim,
+            max_stages * k,
+            cfg.hidden,
+            cfg.s_max,
+            &mut init_rng,
+        );
+        restore_into(&mut store, &ckpt.params, &ckpt.frozen)?;
+
+        tele::event(tele::Level::Info, "ckpt.load")
+            .field("generation", generation)
+            .field("global_step", ckpt.global_step)
+            .field("done", ckpt.done)
+            .field("mid_stage", ckpt.partial.is_some())
+            .field("oracle_spent", ckpt.oracle_spent)
+            .emit();
+
+        oracle.restore_spent(ckpt.oracle_spent);
+        rng.load_state(ckpt.rng_state);
+
+        if ckpt.done {
+            return Ok(Some(TrainedNofis {
+                flow,
+                store,
+                levels: ckpt.levels,
+                loss_history: ckpt.loss_history,
+                stage_reports: ckpt.stage_reports,
+                layers_per_stage: k,
+            }));
+        }
+
+        let start_stage = match &ckpt.partial {
+            Some(p) => p.stage as usize,
+            None => ckpt.stage_reports.len(),
+        };
+        if start_stage >= max_stages
+            || (ckpt.partial.is_some() && ckpt.levels.len() != start_stage + 1)
+            || (ckpt.partial.is_none() && ckpt.levels.len() != start_stage)
+        {
+            return Err(NofisError::Checkpoint {
+                message: format!(
+                    "stage cursor out of range (stage {start_stage}, {} levels, {} stages max)",
+                    ckpt.levels.len(),
+                    max_stages
+                ),
+            });
+        }
+        let carry = match ckpt.partial {
+            None => None,
+            Some(p) => {
+                if p.epoch as usize >= cfg.epochs || p.consumed as usize > cfg.batch_size {
+                    return Err(NofisError::Checkpoint {
+                        message: format!(
+                            "epoch cursor out of range (epoch {}, consumed {})",
+                            p.epoch, p.consumed
+                        ),
+                    });
+                }
+                let mut best_store = store.clone();
+                restore_into(&mut best_store, &p.best_params, &ckpt.frozen)?;
+                let mut epoch_start = store.clone();
+                restore_into(&mut epoch_start, &p.epoch_start_params, &ckpt.frozen)?;
+                Some(StageCarry {
+                    epoch: p.epoch as usize,
+                    consumed: p.consumed as usize,
+                    epoch_loss: p.epoch_loss,
+                    epoch_start,
+                    stage_losses: p.stage_losses,
+                    best_loss: p.best_loss,
+                    best_store,
+                    retries: p.retries as usize,
+                    learning_rate: p.learning_rate,
+                    stage_steps: p.stage_steps,
+                    adam: p.adam,
+                })
+            }
+        };
+        self.train_impl(
+            oracle,
+            rng,
+            Some(ResumeRun {
+                flow,
+                store,
+                levels: ckpt.levels,
+                loss_history: ckpt.loss_history,
+                stage_reports: ckpt.stage_reports,
+                global_step: ckpt.global_step,
+                start_stage,
+                carry,
+            }),
+        )
+        .map(Some)
+    }
+}
+
+/// Mid-stage resume cursor rebuilt from a validated
+/// [`StagePartial`]: the retry-loop state the resumed stage enters with.
+struct StageCarry {
+    epoch: usize,
+    consumed: usize,
+    epoch_loss: f64,
+    epoch_start: ParamStore,
+    stage_losses: Vec<f64>,
+    best_loss: f64,
+    best_store: ParamStore,
+    retries: usize,
+    learning_rate: f64,
+    stage_steps: u64,
+    adam: AdamState,
+}
+
+/// A fully validated and rebuilt resume request handed to `train_impl`.
+struct ResumeRun {
+    flow: RealNvp,
+    store: ParamStore,
+    levels: Vec<f64>,
+    loss_history: Vec<Vec<f64>>,
+    stage_reports: Vec<StageReport>,
+    global_step: u64,
+    start_stage: usize,
+    carry: Option<StageCarry>,
+}
+
+/// Clones the store's parameter tensors in id order (the checkpoint's
+/// canonical parameter layout).
+fn snapshot_params(store: &ParamStore) -> Vec<Tensor> {
+    store.iter().map(|(_, t)| t.clone()).collect()
+}
+
+/// The per-parameter frozen flags in id order.
+fn snapshot_frozen(store: &ParamStore) -> Vec<bool> {
+    store.iter().map(|(id, _)| store.is_frozen(id)).collect()
+}
+
+/// Overwrites `store`'s parameter values and frozen flags from a
+/// checkpoint, validating counts and shapes against the freshly built flow.
+fn restore_into(
+    store: &mut ParamStore,
+    params: &[Tensor],
+    frozen: &[bool],
+) -> Result<(), NofisError> {
+    if params.len() != store.len() || frozen.len() != store.len() {
+        return Err(NofisError::Checkpoint {
+            message: format!(
+                "checkpoint holds {} parameter tensors and {} frozen flags, the flow has {}",
+                params.len(),
+                frozen.len(),
+                store.len()
+            ),
+        });
+    }
+    let ids: Vec<ParamId> = store.iter().map(|(id, _)| id).collect();
+    for ((t, &f), id) in params.iter().zip(frozen.iter()).zip(ids) {
+        let current = store.get(id);
+        if (current.rows(), current.cols()) != (t.rows(), t.cols()) {
+            return Err(NofisError::Checkpoint {
+                message: format!(
+                    "parameter {} has shape {}x{}, the flow expects {}x{}",
+                    id.index(),
+                    t.rows(),
+                    t.cols(),
+                    current.rows(),
+                    current.cols()
+                ),
+            });
+        }
+        *store.get_mut(id) = t.clone();
+        store.set_frozen(id, f);
+    }
+    Ok(())
 }
 
 /// A trained NOFIS model: the flow, its parameters, the realized threshold
@@ -794,7 +1218,7 @@ impl TrainedNofis {
                         last = r;
                     }
                 }
-                None => return Ok(last),
+                None => return accept_last(last),
             }
         }
 
@@ -818,7 +1242,7 @@ impl TrainedNofis {
                         last = r;
                     }
                 }
-                None => return Ok(last),
+                None => return accept_last(last),
             }
         }
 
@@ -826,9 +1250,20 @@ impl TrainedNofis {
         // unconditionally — it cannot produce degenerate weights.
         let n = oracle.grant(n_is);
         if n == 0 {
-            return Ok(last);
+            return accept_last(last);
         }
-        let mc = monte_carlo(oracle, 0.0, n, rng);
+        let mc = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            monte_carlo(oracle, 0.0, n, rng)
+        })) {
+            Ok(mc) => mc,
+            Err(_) => {
+                tele::event(tele::Level::Warn, "estimate.rung_panicked")
+                    .field("rung", rung_label(&FallbackRung::PlainMonteCarlo))
+                    .field("rank", FallbackRung::PlainMonteCarlo.rank())
+                    .emit();
+                return accept_last(last);
+            }
+        };
         let result = IsResult {
             estimate: mc.estimate(),
             hits: mc.hits,
@@ -859,6 +1294,22 @@ impl TrainedNofis {
     }
 }
 
+/// Accepts the best rung seen so far when the ladder is forced to stop
+/// early (budget dry or the plain-MC rung lost to a panic) — unless that
+/// best is itself unusable, in which case the caller gets a typed error
+/// rather than an `Ok` carrying a non-finite estimate.
+fn accept_last(
+    last: (IsResult, Option<WeightDiagnostics>),
+) -> Result<(IsResult, Option<WeightDiagnostics>), NofisError> {
+    if last.0.estimate.is_finite() {
+        Ok(last)
+    } else {
+        Err(NofisError::DegenerateProposal {
+            context: "no estimation ladder rung produced a usable (finite) estimate".into(),
+        })
+    }
+}
+
 /// Runs one ladder rung within the budget: `None` when not even one sample
 /// is affordable, otherwise the tagged result plus diagnostics over the
 /// finite log-weights.
@@ -879,7 +1330,28 @@ fn run_rung<L: LimitState + ?Sized + Sync, Q: Proposal + ?Sized + Sync>(
             .emit();
         return None;
     }
-    let (result, log_weights) = importance_sampling_detailed(oracle, 0.0, proposal, p, n, rng);
+    // A worker-thread panic during the pooled batch evaluation is contained
+    // here and surfaces as an unhealthy rung, so the ladder descends to a
+    // less demanding proposal instead of taking the whole estimate down.
+    let eval = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        importance_sampling_detailed(oracle, 0.0, proposal, p, n, rng)
+    }));
+    let (result, log_weights) = match eval {
+        Ok(v) => v,
+        Err(_) => {
+            tele::event(tele::Level::Warn, "estimate.rung_panicked")
+                .field("rung", rung_label(&rung))
+                .field("rank", rung.rank())
+                .emit();
+            let poisoned = IsResult {
+                estimate: f64::NAN,
+                hits: 0,
+                effective_sample_size: 0.0,
+                rung,
+            };
+            return Some((poisoned, None));
+        }
+    };
     let finite: Vec<f64> = log_weights.into_iter().filter(|w| w.is_finite()).collect();
     let diag = if finite.is_empty() {
         None

@@ -90,6 +90,12 @@ impl RealNvp {
         &self.layers[i]
     }
 
+    /// Parameter ids of every layer, in layer order (the canonical
+    /// parameter layout used by snapshots and checkpoints).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.param_ids_for_layers(0..self.layers.len())
+    }
+
     /// Parameter ids of the layers in `range` (e.g. one NOFIS stage block).
     ///
     /// # Panics

@@ -39,7 +39,7 @@ mod linear;
 mod mlp;
 mod trainer;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use init::Init;
 pub use linear::Linear;
 pub use mlp::{Activation, Mlp};

@@ -242,6 +242,22 @@ impl ThreadPool {
                     if i >= n_chunks {
                         break;
                     }
+                    // Fault-injection seam: a scheduled WorkerPanic takes
+                    // this helper down mid-claim, exercising the
+                    // CountDownGuard + re-raise recovery path from a real
+                    // worker thread (the caller's lane is never targeted).
+                    if nofis_faults::active() {
+                        if let Some(kind @ nofis_faults::FaultKind::WorkerPanic) =
+                            nofis_faults::check(nofis_faults::Site::WorkerChunk)
+                        {
+                            nofis_telemetry::event(nofis_telemetry::Level::Warn, "fault.injected")
+                                .field("site", nofis_faults::Site::WorkerChunk.as_str())
+                                .field("kind", kind.as_str())
+                                .field("chunk", i)
+                                .emit();
+                            panic!("injected fault: worker panic (nofis-faults)");
+                        }
+                    }
                     f_static(i);
                 }
             }))

@@ -10,8 +10,36 @@
 //! the request to what is affordable instead of letting the work overrun.
 
 use crate::LimitState;
+use nofis_faults as faults;
 use nofis_telemetry as tele;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Announces an injected fault at one of this wrapper's seams. Warn-level:
+/// chaos runs must be able to line injections up with their consequences
+/// in the trace.
+fn record_fault(kind: faults::FaultKind, site: faults::Site) {
+    tele::event(tele::Level::Warn, "fault.injected")
+        .field("site", site.as_str())
+        .field("kind", kind.as_str())
+        .emit();
+}
+
+/// The fault-injection seam at [`faults::Site::BudgetGrant`]: when the
+/// installed plan schedules [`faults::FaultKind::BudgetExhaust`] for this
+/// visit, the budget is forced to exhaustion *before* the planning call
+/// computes the affordable count — the caller then sees a clean grant of 0
+/// and degrades exactly as if the budget had genuinely run dry.
+fn budget_fault(used: &AtomicU64, budget: u64) {
+    if !faults::active() {
+        return;
+    }
+    if let Some(kind @ faults::FaultKind::BudgetExhaust) = faults::check(faults::Site::BudgetGrant)
+    {
+        record_fault(kind, faults::Site::BudgetGrant);
+        used.fetch_max(budget, Ordering::Relaxed);
+    }
+}
 
 /// Emits budget-spend telemetry for a planned/reserved chunk: a
 /// per-grant trace record, plus a debug-level truncation event whenever
@@ -107,10 +135,28 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
         self.remaining() == 0
     }
 
+    /// Synonym for [`BudgetedOracle::used`] named for the checkpoint
+    /// payload: the spent-call count a durable checkpoint must persist so a
+    /// resumed run keeps honoring the same budget.
+    pub fn spent(&self) -> u64 {
+        self.used()
+    }
+
+    /// Restores a spent-call count saved by a previous process (via
+    /// [`BudgetedOracle::spent`]) into this — freshly constructed — oracle,
+    /// so the crash boundary cannot reset the meter: across the original
+    /// and resumed runs together, at most `budget` calls are ever made.
+    ///
+    /// Overwrites the counter; call it before any call is spent here.
+    pub fn restore_spent(&self, spent: u64) {
+        self.used.store(spent, Ordering::Relaxed);
+    }
+
     /// Truncates a planned chunk of `want` calls to what the remaining
     /// budget affords. Returns the affordable count (possibly 0) without
     /// consuming anything; consumption happens as calls are made.
     pub fn grant(&self, want: usize) -> usize {
+        budget_fault(&self.used, self.budget);
         let granted = (want as u64).min(self.remaining()) as usize;
         record_grant("grant", want, granted, self.used(), self.budget);
         granted
@@ -127,6 +173,7 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
     /// each chunk up front and then spends the reserved calls with
     /// [`BudgetedOracle::value_prepaid`].
     pub fn reserve(&self, want: usize) -> usize {
+        budget_fault(&self.used, self.budget);
         let want = want as u64;
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
@@ -159,7 +206,83 @@ impl<'a, T: LimitState + ?Sized> BudgetedOracle<'a, T> {
     /// Evaluates the wrapped limit state without charging the budget; the
     /// call must have been paid for via [`BudgetedOracle::reserve`].
     pub(crate) fn value_prepaid(&self, x: &[f64]) -> f64 {
-        self.inner.value(x)
+        self.eval_value(x)
+    }
+
+    /// Decides the injected fault (if any) for one oracle evaluation and
+    /// handles the terminal kind in place: [`faults::FaultKind::Kill`]
+    /// flushes telemetry and exits the process with
+    /// [`faults::KILL_EXIT_CODE`] — a deterministic stand-in for `kill -9`
+    /// at an exact call index, used by the chaos resume tests.
+    fn oracle_fault(&self) -> Option<faults::FaultKind> {
+        if !faults::active() {
+            return None;
+        }
+        let fault = faults::check(faults::Site::OracleCall)?;
+        record_fault(fault, faults::Site::OracleCall);
+        if fault == faults::FaultKind::Kill {
+            tele::flush();
+            std::process::exit(faults::KILL_EXIT_CODE);
+        }
+        Some(fault)
+    }
+
+    /// One guarded simulator evaluation: applies any injected oracle fault,
+    /// and converts a panicking simulator (injected or genuine) into a NaN
+    /// response — the same sanitized path a non-finite simulator value
+    /// takes — instead of unwinding through the training loop. The call has
+    /// already been charged to the budget by the caller.
+    fn eval_value(&self, x: &[f64]) -> f64 {
+        let fault = self.oracle_fault();
+        match fault {
+            Some(faults::FaultKind::OracleNan) => return f64::NAN,
+            Some(faults::FaultKind::OracleInf) => return f64::INFINITY,
+            _ => {}
+        }
+        let inject_panic = matches!(fault, Some(faults::FaultKind::OraclePanic));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: oracle panic (nofis-faults)");
+            }
+            self.inner.value(x)
+        }));
+        match result {
+            Ok(v) => v,
+            Err(_) => {
+                tele::event(tele::Level::Warn, "oracle.panic_caught")
+                    .field("op", "value")
+                    .emit();
+                f64::NAN
+            }
+        }
+    }
+
+    /// Gradient-carrying twin of [`BudgetedOracle::eval_value`].
+    fn eval_value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let fault = self.oracle_fault();
+        match fault {
+            Some(faults::FaultKind::OracleNan) => return (f64::NAN, vec![f64::NAN; x.len()]),
+            Some(faults::FaultKind::OracleInf) => {
+                return (f64::INFINITY, vec![f64::INFINITY; x.len()])
+            }
+            _ => {}
+        }
+        let inject_panic = matches!(fault, Some(faults::FaultKind::OraclePanic));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: oracle panic (nofis-faults)");
+            }
+            self.inner.value_grad(x)
+        }));
+        match result {
+            Ok(vg) => vg,
+            Err(_) => {
+                tele::event(tele::Level::Warn, "oracle.panic_caught")
+                    .field("op", "value_grad")
+                    .emit();
+                (f64::NAN, vec![f64::NAN; x.len()])
+            }
+        }
     }
 
     /// Calls made *beyond* the budget (0 when every consumer planned its
@@ -181,13 +304,13 @@ impl<T: LimitState + ?Sized> LimitState for BudgetedOracle<'_, T> {
 
     fn value(&self, x: &[f64]) -> f64 {
         self.used.fetch_add(1, Ordering::Relaxed);
-        self.inner.value(x)
+        self.eval_value(x)
     }
 
     fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
         // One simulation, like CountingOracle: sensitivities ride along.
         self.used.fetch_add(1, Ordering::Relaxed);
-        self.inner.value_grad(x)
+        self.eval_value_grad(x)
     }
 
     fn name(&self) -> &str {
@@ -247,6 +370,55 @@ mod tests {
         assert_eq!(v, 2.0);
         assert_eq!(b.overruns(), 1);
         assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn restore_spent_survives_the_crash_boundary() {
+        // Simulate a crash/resume: 7 calls in "process one", its spent
+        // count checkpointed, then a fresh oracle in "process two" restores
+        // it — the two runs together can never exceed the budget.
+        let first = BudgetedOracle::new(&Linear, 10);
+        for _ in 0..first.grant(7) {
+            let _ = first.value(&[0.0, 0.0]);
+        }
+        let spent = first.spent();
+        assert_eq!(spent, 7);
+
+        let resumed = BudgetedOracle::new(&Linear, 10);
+        resumed.restore_spent(spent);
+        assert_eq!(resumed.used(), 7);
+        assert_eq!(resumed.remaining(), 3);
+        assert_eq!(resumed.grant(100), 3);
+        for _ in 0..3 {
+            let _ = resumed.value(&[0.0, 0.0]);
+        }
+        assert!(resumed.is_exhausted());
+        assert_eq!(resumed.grant(1), 0);
+        assert_eq!(resumed.overruns(), 0);
+    }
+
+    #[test]
+    fn panicking_simulator_degrades_to_nan() {
+        struct Grenade;
+        impl LimitState for Grenade {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn value(&self, x: &[f64]) -> f64 {
+                if x[0] > 0.5 {
+                    panic!("simulator crashed");
+                }
+                x[0]
+            }
+        }
+        let b = BudgetedOracle::new(&Grenade, 10);
+        assert_eq!(b.value(&[0.0, 0.0]), 0.0);
+        // The panic is contained and surfaces as the sanitized NaN path;
+        // the call still counts against the budget.
+        assert!(b.value(&[1.0, 0.0]).is_nan());
+        let (v, g) = b.value_grad(&[1.0, 0.0]);
+        assert!(v.is_nan() && g.iter().all(|gi| gi.is_nan()));
+        assert_eq!(b.used(), 3);
     }
 
     #[test]

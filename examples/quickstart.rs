@@ -14,6 +14,11 @@
 //! outcome). Tune it with `NOFIS_LOG` (`off`, `error`, `warn`, `info`,
 //! `debug`, `trace`), and write a full machine-readable JSONL trace with
 //! `NOFIS_TRACE_FILE=run.jsonl` (inspect it with `nofis-trace summary`).
+//!
+//! Set `NOFIS_CKPT_DIR=ckpts` (optionally `NOFIS_CKPT_EVERY=N`) to write
+//! durable training checkpoints; if the process is killed, re-running the
+//! example resumes from the newest one and produces bitwise-identical
+//! results (DESIGN.md §11).
 
 use nofis_core::{telemetry, Levels, Nofis, NofisConfig};
 use nofis_prob::{log_error, monte_carlo, CountingOracle};
@@ -45,8 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let nofis = Nofis::new(config)?;
 
-    // 3. Train the flow and estimate.
-    let (trained, result) = nofis.run(&oracle, &mut rng)?;
+    // 3. Train the flow and estimate. With `NOFIS_CKPT_DIR` set this
+    //    resumes a previously killed run instead of starting over (and is
+    //    exactly `Nofis::run` otherwise).
+    let (trained, result) = nofis.run_or_resume(&oracle, &mut rng)?;
     let nofis_calls = oracle.calls();
 
     println!("NOFIS");

@@ -1,6 +1,6 @@
 //! Concrete generators.
 
-use crate::{RngCore, SeedableRng};
+use crate::{RngCore, SeedableRng, StateRng};
 
 /// The workspace's standard deterministic generator: xoshiro256++.
 ///
@@ -30,6 +30,27 @@ impl SeedableRng for StdRng {
             }
         }
         StdRng { s }
+    }
+}
+
+impl StateRng for StdRng {
+    fn save_state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    fn load_state(&mut self, state: [u64; 4]) {
+        // A live xoshiro state is never all-zero (from_seed remaps it and
+        // every transition preserves non-zeroness), but a hand-crafted or
+        // corrupted snapshot could be; remap it the same way from_seed does
+        // rather than freezing the generator at its fixed point.
+        if state.iter().all(|&w| w == 0) {
+            let mut sm = 0x9e37_79b9_7f4a_7c15u64;
+            for w in &mut self.s {
+                *w = crate::splitmix64(&mut sm);
+            }
+        } else {
+            self.s = state;
+        }
     }
 }
 
