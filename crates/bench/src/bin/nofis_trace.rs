@@ -2,9 +2,10 @@
 //! `NOFIS_TRACE_FILE` / `JsonlSink`).
 //!
 //! ```text
-//! nofis-trace check   TRACE.jsonl      # schema-validate, exit 1 if invalid
-//! nofis-trace summary TRACE.jsonl      # per-stage table + estimate summary
-//! nofis-trace diff    A.jsonl B.jsonl  # compare two runs stage by stage
+//! nofis-trace check   TRACE.jsonl          # schema-validate, exit 1 if invalid
+//! nofis-trace summary TRACE.jsonl          # per-stage table + estimate summary
+//! nofis-trace summary --by-job TRACE.jsonl # per-job lifecycle table
+//! nofis-trace diff    A.jsonl B.jsonl      # compare two runs stage by stage
 //! ```
 //!
 //! `summary` reconstructs the run from the structured records alone: the
@@ -13,6 +14,13 @@
 //! are derived); the `estimate` span carries the accepted fallback rung.
 //! `diff` lines up two traces by stage number to compare timings and
 //! resource spend — e.g. before/after a performance change.
+//!
+//! `summary --by-job` reads the `job.submit` / `job.start` / `job.retry` /
+//! `job.end` lifecycle events written by the `nofis-jobs` runner (every
+//! record a job emits carries a `job` field) and prints one row per job:
+//! starts, retries, total backoff, checkpoints written, and the terminal
+//! outcome. It exits 1 if any submitted job never reached a terminal
+//! state — the CI chaos job's no-hang assertion.
 
 use nofis_telemetry::trace::{parse_trace, TraceEvent};
 use nofis_telemetry::Kind;
@@ -23,11 +31,13 @@ fn main() -> ExitCode {
     match (args.first().map(String::as_str), args.len()) {
         (Some("check"), 2) => check(&args[1]),
         (Some("summary"), 2) => summary(&args[1]),
+        (Some("summary"), 3) if args[1] == "--by-job" => by_job(&args[2]),
         (Some("diff"), 3) => diff(&args[1], &args[2]),
         _ => {
             eprintln!(
                 "usage: nofis-trace check TRACE.jsonl\n\
                  \x20      nofis-trace summary TRACE.jsonl\n\
+                 \x20      nofis-trace summary --by-job TRACE.jsonl\n\
                  \x20      nofis-trace diff A.jsonl B.jsonl"
             );
             ExitCode::from(2)
@@ -262,6 +272,120 @@ fn summary(path: &str) -> ExitCode {
             est.duration_us.unwrap_or(0) as f64 / 1e6,
             attempts
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// One supervised job's lifecycle, reconstructed from `job.*` events.
+#[derive(Default)]
+struct JobRow {
+    id: u64,
+    name: String,
+    priority: u64,
+    submitted: bool,
+    starts: u64,
+    retries: u64,
+    backoff_ms: u64,
+    ckpt_writes: u64,
+    outcome: Option<String>,
+    attempts: u64,
+    checkpointed: Option<bool>,
+}
+
+fn by_job(path: &str) -> ExitCode {
+    let events = match load(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows: Vec<JobRow> = Vec::new();
+    let row = |rows: &mut Vec<JobRow>, id: u64| -> usize {
+        match rows.iter().position(|r| r.id == id) {
+            Some(idx) => idx,
+            None => {
+                rows.push(JobRow {
+                    id,
+                    ..Default::default()
+                });
+                rows.len() - 1
+            }
+        }
+    };
+    for e in &events {
+        let Some(id) = e.u64_field("job") else {
+            continue;
+        };
+        let idx = row(&mut rows, id);
+        match e.name.as_str() {
+            "job.submit" => {
+                rows[idx].submitted = true;
+                rows[idx].name = e.str_field("name").unwrap_or("?").to_string();
+                rows[idx].priority = e.u64_field("priority").unwrap_or(0);
+            }
+            "job.start" => rows[idx].starts += 1,
+            "job.retry" => {
+                rows[idx].retries += 1;
+                rows[idx].backoff_ms += e.u64_field("backoff_ms").unwrap_or(0);
+            }
+            "job.end" => {
+                rows[idx].outcome = Some(e.str_field("outcome").unwrap_or("?").to_string());
+                rows[idx].attempts = e.u64_field("attempts").unwrap_or(0);
+                rows[idx].checkpointed = e.bool_field("checkpointed");
+                if rows[idx].name.is_empty() {
+                    rows[idx].name = e.str_field("name").unwrap_or("?").to_string();
+                }
+            }
+            "ckpt.write" => rows[idx].ckpt_writes += 1,
+            _ => {}
+        }
+    }
+    if rows.is_empty() {
+        println!("no job lifecycle events in trace");
+        return ExitCode::SUCCESS;
+    }
+    rows.sort_by_key(|r| r.id);
+    println!(
+        "{:>5} {:<14} {:>4} {:>6} {:>7} {:>11} {:>5} {:>8}  {}",
+        "job", "name", "prio", "starts", "retries", "backoff(ms)", "ckpt", "attempts", "outcome"
+    );
+    for r in &rows {
+        let outcome = match (&r.outcome, r.checkpointed) {
+            (Some(o), Some(true)) => format!("{o} (checkpointed)"),
+            (Some(o), _) => o.clone(),
+            (None, _) => "NON-TERMINAL".to_string(),
+        };
+        println!(
+            "{:>5} {:<14} {:>4} {:>6} {:>7} {:>11} {:>5} {:>8}  {outcome}",
+            r.id, r.name, r.priority, r.starts, r.retries, r.backoff_ms, r.ckpt_writes, r.attempts
+        );
+    }
+    let submitted = rows.iter().filter(|r| r.submitted).count();
+    let terminal = rows.iter().filter(|r| r.outcome.is_some()).count();
+    let count = |what: &str| {
+        rows.iter()
+            .filter(|r| r.outcome.as_deref() == Some(what))
+            .count()
+    };
+    let total_retries: u64 = rows.iter().map(|r| r.retries).sum();
+    println!(
+        "jobs: {submitted} submitted, {terminal} terminal \
+         ({} done, {} failed, {} panicked, {} shed, {} deadline, {} suspended), \
+         {total_retries} retries",
+        count("done"),
+        count("failed"),
+        count("panicked"),
+        count("shed"),
+        count("deadline"),
+        count("suspended"),
+    );
+    if terminal < submitted {
+        eprintln!(
+            "NON-TERMINAL: {} submitted job(s) never reached a terminal state",
+            submitted - terminal
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

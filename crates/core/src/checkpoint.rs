@@ -67,6 +67,14 @@ pub struct CheckpointConfig {
     /// Keep this many newest generations; older ones are deleted after each
     /// successful write. Must be positive.
     pub keep: usize,
+    /// Isolates this run's checkpoints in a `job-<namespace>` subdirectory
+    /// of `dir`, so many jobs can share one parent directory (e.g. a single
+    /// `NOFIS_CKPT_DIR`) without clobbering each other's generations,
+    /// rotation, or resume state. `None` writes directly into `dir` (the
+    /// single-run layout). Restricted to `[A-Za-z0-9._-]` and must be
+    /// non-empty when set. Excluded from the config fingerprint, like the
+    /// rest of the checkpoint config.
+    pub namespace: Option<String>,
 }
 
 impl CheckpointConfig {
@@ -76,6 +84,23 @@ impl CheckpointConfig {
             dir: dir.into(),
             every_steps: DEFAULT_EVERY_STEPS,
             keep: DEFAULT_KEEP,
+            namespace: None,
+        }
+    }
+
+    /// Same config, namespaced under `job-<namespace>` (see
+    /// [`CheckpointConfig::namespace`]).
+    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = Some(namespace.into());
+        self
+    }
+
+    /// The directory checkpoints actually land in: `dir` itself, or the
+    /// `job-<namespace>` subdirectory when a namespace is set.
+    pub fn effective_dir(&self) -> PathBuf {
+        match &self.namespace {
+            Some(ns) => self.dir.join(format!("job-{ns}")),
+            None => self.dir.clone(),
         }
     }
 }
@@ -639,17 +664,29 @@ pub fn list_generations(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     Ok(gens)
 }
 
-/// Deletes stale `*.tmp` files left behind by a crash mid-write. Called on
-/// checkpointer startup; failures to remove are ignored (the stale file is
-/// merely disk noise — it can never be loaded).
+/// Deletes stale `ckpt-<generation>.tmp` files left behind by a crash
+/// mid-write. Called on checkpointer startup; failures to remove are
+/// ignored (the stale file is merely disk noise — it can never be loaded).
+///
+/// Only files matching this crate's own tmp naming are touched: a `.tmp`
+/// with any other name (another tool's scratch file in a shared parent
+/// directory) is left alone. Cross-*job* safety comes from namespacing
+/// ([`CheckpointConfig::namespace`]), which gives each job its own
+/// directory — cleanup never needs to reach outside it.
 pub fn clean_stale_tmps(dir: &Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
         let name = entry.file_name();
-        let is_tmp = name.to_str().is_some_and(|n| n.ends_with(".tmp"));
-        if is_tmp {
+        let is_own_tmp = name.to_str().is_some_and(|n| {
+            n.strip_prefix("ckpt-")
+                .and_then(|rest| rest.strip_suffix(".tmp"))
+                .is_some_and(|digits| {
+                    !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+                })
+        });
+        if is_own_tmp {
             let _ = std::fs::remove_file(entry.path());
         }
     }
@@ -752,19 +789,22 @@ pub fn load_latest(dir: &Path) -> std::io::Result<Option<(u64, Checkpoint)>> {
 #[derive(Debug)]
 pub(crate) struct Checkpointer {
     cfg: CheckpointConfig,
+    dir: PathBuf,
     next_gen: u64,
 }
 
 impl Checkpointer {
-    /// Prepares to write into `cfg.dir`: cleans stale tmps and continues
-    /// the generation sequence after any existing checkpoints.
+    /// Prepares to write into the config's effective directory (namespace
+    /// applied): cleans stale tmps and continues the generation sequence
+    /// after any existing checkpoints.
     pub(crate) fn new(cfg: CheckpointConfig) -> Self {
-        clean_stale_tmps(&cfg.dir);
-        let next_gen = match list_generations(&cfg.dir) {
+        let dir = cfg.effective_dir();
+        clean_stale_tmps(&dir);
+        let next_gen = match list_generations(&dir) {
             Ok(gens) => gens.last().map_or(1, |(g, _)| g + 1),
             Err(_) => 1,
         };
-        Checkpointer { cfg, next_gen }
+        Checkpointer { cfg, dir, next_gen }
     }
 
     /// Whether an optimizer step at `global_step` (1-based, post-step)
@@ -774,10 +814,12 @@ impl Checkpointer {
     }
 
     /// Writes `ckpt` as the next generation and rotates. Failures warn
-    /// (`ckpt.write_failed`) and are swallowed.
-    pub(crate) fn write(&mut self, ckpt: &Checkpoint) {
+    /// (`ckpt.write_failed`) and are swallowed; the returned flag reports
+    /// whether the write landed (preemption uses it to tell the caller
+    /// whether a resume point exists).
+    pub(crate) fn write(&mut self, ckpt: &Checkpoint) -> bool {
         let generation = self.next_gen;
-        match write_atomic(&self.cfg.dir, generation, ckpt) {
+        match write_atomic(&self.dir, generation, ckpt) {
             Ok(path) => {
                 self.next_gen += 1;
                 tele::event(tele::Level::Info, "ckpt.write")
@@ -787,7 +829,8 @@ impl Checkpointer {
                     .field("mid_stage", ckpt.partial.is_some())
                     .field("path", path.display().to_string().as_str())
                     .emit();
-                let _ = rotate(&self.cfg.dir, self.cfg.keep.max(1));
+                let _ = rotate(&self.dir, self.cfg.keep.max(1));
+                true
             }
             Err(e) => {
                 tele::event(tele::Level::Warn, "ckpt.write_failed")
@@ -795,6 +838,7 @@ impl Checkpointer {
                     .field("global_step", ckpt.global_step)
                     .field("error", e.to_string().as_str())
                     .emit();
+                false
             }
         }
     }

@@ -249,6 +249,18 @@ impl NofisConfig {
             if ckpt.keep == 0 {
                 return Err(ConfigError::new("checkpoint keep must be positive"));
             }
+            if let Some(ns) = &ckpt.namespace {
+                let ok = !ns.is_empty()
+                    && ns
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'));
+                if !ok {
+                    return Err(ConfigError::new(
+                        "checkpoint namespace must be non-empty and use only \
+                         [A-Za-z0-9._-] (it becomes a directory name)",
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -421,26 +433,28 @@ mod tests {
             },
             NofisConfig {
                 checkpoint: Some(CheckpointConfig {
-                    dir: "ckpts".into(),
                     every_steps: 0,
-                    keep: 3,
+                    ..CheckpointConfig::new("ckpts")
                 }),
                 ..base.clone()
             },
             NofisConfig {
                 checkpoint: Some(CheckpointConfig {
-                    dir: "ckpts".into(),
-                    every_steps: 25,
                     keep: 0,
+                    ..CheckpointConfig::new("ckpts")
                 }),
                 ..base.clone()
             },
             NofisConfig {
-                checkpoint: Some(CheckpointConfig {
-                    dir: "".into(),
-                    every_steps: 25,
-                    keep: 3,
-                }),
+                checkpoint: Some(CheckpointConfig::new("")),
+                ..base.clone()
+            },
+            NofisConfig {
+                checkpoint: Some(CheckpointConfig::new("ckpts").with_namespace("")),
+                ..base.clone()
+            },
+            NofisConfig {
+                checkpoint: Some(CheckpointConfig::new("ckpts").with_namespace("a/b")),
                 ..base.clone()
             },
         ] {
@@ -466,6 +480,12 @@ mod tests {
         );
         assert!(NofisConfig {
             checkpoint: Some(CheckpointConfig::new("ckpts")),
+            ..base.clone()
+        }
+        .validate()
+        .is_ok());
+        assert!(NofisConfig {
+            checkpoint: Some(CheckpointConfig::new("ckpts").with_namespace("job-3_v1.0")),
             ..base.clone()
         }
         .validate()

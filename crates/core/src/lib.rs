@@ -51,6 +51,7 @@
 pub mod checkpoint;
 mod config;
 mod error;
+pub mod preempt;
 mod proposal;
 mod report;
 mod train;

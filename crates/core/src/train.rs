@@ -1,4 +1,5 @@
 use crate::checkpoint::{self, Checkpoint, Checkpointer, StagePartial};
+use crate::preempt;
 use crate::{ConfigError, FlowProposal, Levels, NofisConfig, NofisError, StageReport};
 use nofis_autograd::{Graph, ParamId, ParamStore, Tensor};
 use nofis_flows::RealNvp;
@@ -497,10 +498,18 @@ impl Nofis {
                         epoch_loss += chunk_loss * n as f64;
                         // Mid-stage checkpoint site: the snapshot describes
                         // the state *after* this optimizer step, so resume
-                        // re-enters the loop at the next minibatch.
+                        // re-enters the loop at the next minibatch. A
+                        // pending preemption request (deadline, shutdown)
+                        // forces a write here regardless of the interval:
+                        // the checkpoint is the preempted run's resume
+                        // point, and resuming replays the exact §11 path,
+                        // so a preempted-then-resumed run is bitwise
+                        // identical to an uninterrupted one.
+                        let preempt_reason = preempt::current_requested();
+                        let mut preempt_ckpt = false;
                         if let Some(cp) = &mut checkpointer {
-                            if cp.due(global_step) {
-                                cp.write(&Checkpoint {
+                            if preempt_reason.is_some() || cp.due(global_step) {
+                                preempt_ckpt = cp.write(&Checkpoint {
                                     config_fingerprint: fingerprint,
                                     dim: dim as u64,
                                     global_step,
@@ -528,6 +537,20 @@ impl Nofis {
                                     }),
                                 });
                             }
+                        }
+                        if let Some(reason) = preempt_reason {
+                            tele::event(tele::Level::Warn, "train.preempted")
+                                .field("stage", stage + 1)
+                                .field("global_step", global_step)
+                                .field("reason", reason.as_str())
+                                .field("checkpointed", preempt_ckpt)
+                                .emit();
+                            return Err(NofisError::Preempted {
+                                stage: stage + 1,
+                                global_step,
+                                checkpointed: preempt_ckpt,
+                                reason: reason.as_str().to_string(),
+                            });
                         }
                     }
                     epoch_loss /= consumed as f64;
@@ -792,10 +815,10 @@ impl Nofis {
         let Some(ckpt_cfg) = &self.config.checkpoint else {
             return Ok(None);
         };
-        let loaded =
-            checkpoint::load_latest(&ckpt_cfg.dir).map_err(|e| NofisError::Checkpoint {
-                message: format!("cannot list {}: {e}", ckpt_cfg.dir.display()),
-            })?;
+        let ckpt_dir = ckpt_cfg.effective_dir();
+        let loaded = checkpoint::load_latest(&ckpt_dir).map_err(|e| NofisError::Checkpoint {
+            message: format!("cannot list {}: {e}", ckpt_dir.display()),
+        })?;
         let Some((generation, ckpt)) = loaded else {
             return Ok(None);
         };

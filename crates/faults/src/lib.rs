@@ -65,10 +65,16 @@ pub enum Site {
     WorkerChunk,
     /// One durable checkpoint write attempt.
     CkptWrite,
+    /// One job admission decision in the `nofis-jobs` scheduler (visited
+    /// once per `JobRunner::submit` call).
+    JobSubmit,
+    /// One job execution attempt starting on a scheduler worker (visited
+    /// once per attempt, so retries re-visit the site).
+    JobStart,
 }
 
 impl Site {
-    const COUNT: usize = 4;
+    const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -76,6 +82,8 @@ impl Site {
             Site::BudgetGrant => 1,
             Site::WorkerChunk => 2,
             Site::CkptWrite => 3,
+            Site::JobSubmit => 4,
+            Site::JobStart => 5,
         }
     }
 
@@ -86,6 +94,8 @@ impl Site {
             Site::BudgetGrant => "budget_grant",
             Site::WorkerChunk => "worker_chunk",
             Site::CkptWrite => "ckpt_write",
+            Site::JobSubmit => "job_submit",
+            Site::JobStart => "job_start",
         }
     }
 }
@@ -108,6 +118,15 @@ pub enum FaultKind {
     /// The process exits immediately with [`KILL_EXIT_CODE`] (a simulated
     /// `kill -9` at an exact oracle-call index).
     Kill,
+    /// A scheduler job panics as its attempt starts (a poisoned testcase;
+    /// must never take down co-tenant jobs).
+    JobPanic,
+    /// A job's wall-clock deadline is treated as already expired when the
+    /// attempt starts, forcing immediate checkpoint-based preemption.
+    DeadlineStorm,
+    /// Job admission is forced to see a full queue, exercising the
+    /// load-shedding path.
+    QueueOverflow,
 }
 
 impl FaultKind {
@@ -121,6 +140,8 @@ impl FaultKind {
             FaultKind::BudgetExhaust => Site::BudgetGrant,
             FaultKind::WorkerPanic => Site::WorkerChunk,
             FaultKind::CkptWriteFail => Site::CkptWrite,
+            FaultKind::QueueOverflow => Site::JobSubmit,
+            FaultKind::JobPanic | FaultKind::DeadlineStorm => Site::JobStart,
         }
     }
 
@@ -134,6 +155,9 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker_panic",
             FaultKind::CkptWriteFail => "ckpt_fail",
             FaultKind::Kill => "kill",
+            FaultKind::JobPanic => "job_panic",
+            FaultKind::DeadlineStorm => "deadline_storm",
+            FaultKind::QueueOverflow => "queue_overflow",
         }
     }
 
@@ -146,6 +170,9 @@ impl FaultKind {
             "worker_panic" => FaultKind::WorkerPanic,
             "ckpt_fail" => FaultKind::CkptWriteFail,
             "kill" => FaultKind::Kill,
+            "job_panic" => FaultKind::JobPanic,
+            "deadline_storm" => FaultKind::DeadlineStorm,
+            "queue_overflow" => FaultKind::QueueOverflow,
             _ => return None,
         })
     }
@@ -238,7 +265,8 @@ impl FaultPlan {
             let kind = FaultKind::parse(kind_str.trim()).ok_or_else(|| {
                 plan_err(format!(
                     "unknown fault kind {:?} (expected one of oracle_nan, oracle_inf, \
-                     oracle_panic, budget_exhaust, worker_panic, ckpt_fail, kill)",
+                     oracle_panic, budget_exhaust, worker_panic, ckpt_fail, kill, \
+                     job_panic, deadline_storm, queue_overflow)",
                     kind_str.trim()
                 ))
             })?;
@@ -458,6 +486,9 @@ mod tests {
             (FaultKind::BudgetExhaust, Site::BudgetGrant),
             (FaultKind::WorkerPanic, Site::WorkerChunk),
             (FaultKind::CkptWriteFail, Site::CkptWrite),
+            (FaultKind::JobPanic, Site::JobStart),
+            (FaultKind::DeadlineStorm, Site::JobStart),
+            (FaultKind::QueueOverflow, Site::JobSubmit),
         ] {
             assert_eq!(kind.site(), site);
             // Every kind's keyword parses back to itself.

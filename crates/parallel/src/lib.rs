@@ -47,7 +47,7 @@ pub mod chunks;
 pub mod kernels;
 mod pool;
 
-pub use pool::{PoolUsage, ThreadPool};
+pub use pool::{LaneGuard, PoolUsage, ThreadPool};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

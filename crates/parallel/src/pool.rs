@@ -29,6 +29,29 @@ pub struct PoolUsage {
     pub inline_runs: u64,
     /// Helper jobs dispatched to worker threads across all runs.
     pub helper_dispatches: u64,
+    /// Runs whose helper allotment was reduced by fair-share lane
+    /// accounting (two or more [`LaneGuard`]s alive at dispatch time).
+    pub shared_runs: u64,
+}
+
+/// Registration of one logical client (e.g. a scheduler job) on a shared
+/// pool, returned by [`ThreadPool::lane_guard`]. While two or more guards
+/// are alive, each chunked run's *helper* allotment shrinks to
+/// `(threads - 1) / active` so co-tenants split the worker lanes instead
+/// of queueing behind each other; every caller still participates on its
+/// own thread, so no client is ever starved below one lane. Purely a
+/// scheduling hint: chunk results land in chunk-indexed slots, so the
+/// helper count never affects computed values (DESIGN.md §8).
+#[must_use = "the lane registration is released when the guard drops"]
+#[derive(Debug)]
+pub struct LaneGuard<'a> {
+    pool: &'a ThreadPool,
+}
+
+impl Drop for LaneGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.active_clients.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Type-erased unit of work executed by a pool worker.
@@ -124,6 +147,8 @@ pub struct ThreadPool {
     chunks: AtomicU64,
     inline_runs: AtomicU64,
     helper_dispatches: AtomicU64,
+    shared_runs: AtomicU64,
+    active_clients: AtomicUsize,
 }
 
 impl ThreadPool {
@@ -160,6 +185,8 @@ impl ThreadPool {
             chunks: AtomicU64::new(0),
             inline_runs: AtomicU64::new(0),
             helper_dispatches: AtomicU64::new(0),
+            shared_runs: AtomicU64::new(0),
+            active_clients: AtomicUsize::new(0),
         }
     }
 
@@ -175,7 +202,21 @@ impl ThreadPool {
             chunks: self.chunks.load(Ordering::Relaxed),
             inline_runs: self.inline_runs.load(Ordering::Relaxed),
             helper_dispatches: self.helper_dispatches.load(Ordering::Relaxed),
+            shared_runs: self.shared_runs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Registers the calling client for fair-share lane accounting; see
+    /// [`LaneGuard`]. Cheap (one atomic increment) and reentrant — nested
+    /// guards just count as extra clients.
+    pub fn lane_guard(&self) -> LaneGuard<'_> {
+        self.active_clients.fetch_add(1, Ordering::Relaxed);
+        LaneGuard { pool: self }
+    }
+
+    /// Clients currently registered via [`ThreadPool::lane_guard`].
+    pub fn active_clients(&self) -> usize {
+        self.active_clients.load(Ordering::Relaxed)
     }
 
     /// Runs `f(chunk_index)` for every index in `0..n_chunks`, spreading
@@ -199,7 +240,18 @@ impl ThreadPool {
         }
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
-        let helpers = (self.threads - 1).min(n_chunks - 1);
+        // Fair-share: with several registered clients, each run claims only
+        // its share of the worker lanes (the caller's own lane is always
+        // available, so the floor is zero helpers, never zero lanes).
+        // Helper count cannot affect results — see LaneGuard.
+        let active = self.active_clients.load(Ordering::Relaxed);
+        let lane_budget = if active > 1 {
+            self.shared_runs.fetch_add(1, Ordering::Relaxed);
+            (self.threads - 1) / active
+        } else {
+            self.threads - 1
+        };
+        let helpers = lane_budget.min(n_chunks - 1);
         if helpers == 0 {
             self.inline_runs.fetch_add(1, Ordering::Relaxed);
             for i in 0..n_chunks {
@@ -456,6 +508,43 @@ mod tests {
         assert_eq!(u.chunks, 11);
         assert_eq!(u.inline_runs, 1);
         assert_eq!(u.helper_dispatches, 3);
+    }
+
+    #[test]
+    fn lane_guards_split_helpers_between_clients() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.active_clients(), 0);
+
+        // One client (or none): full helper allotment, not a shared run.
+        let g1 = pool.lane_guard();
+        assert_eq!(pool.active_clients(), 1);
+        pool.run_chunks(10, |_| {});
+        assert_eq!(pool.usage().helper_dispatches, 3);
+        assert_eq!(pool.usage().shared_runs, 0);
+
+        // Two clients: (4 - 1) / 2 = 1 helper each; results still complete.
+        let g2 = pool.lane_guard();
+        let counters: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(0)).collect();
+        pool.run_chunks(counters.len(), |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(pool.usage().helper_dispatches, 4);
+        assert_eq!(pool.usage().shared_runs, 1);
+
+        // Four clients: 3 / 4 = 0 helpers — the run goes inline, but the
+        // caller's own lane keeps it making progress.
+        let g3 = pool.lane_guard();
+        let g4 = pool.lane_guard();
+        pool.run_chunks(10, |_| {});
+        assert_eq!(pool.usage().helper_dispatches, 4);
+        assert_eq!(pool.usage().inline_runs, 1);
+
+        // Guards release their registration on drop.
+        drop((g1, g2, g3, g4));
+        assert_eq!(pool.active_clients(), 0);
+        pool.run_chunks(10, |_| {});
+        assert_eq!(pool.usage().helper_dispatches, 7);
     }
 
     #[test]

@@ -197,7 +197,8 @@ impl EventBuilder {
     }
 }
 
-/// Starts building a point event at `level` named `name`.
+/// Starts building a point event at `level` named `name`. Thread-local
+/// context fields ([`crate::push_context`]) are prepended automatically.
 pub fn event(level: Level, name: &'static str) -> EventBuilder {
     EventBuilder {
         inner: enabled(level).then(|| Event {
@@ -205,7 +206,7 @@ pub fn event(level: Level, name: &'static str) -> EventBuilder {
             kind: Kind::Event,
             level,
             name,
-            fields: Vec::new(),
+            fields: crate::context::snapshot(),
             duration_us: None,
         }),
     }
@@ -246,7 +247,8 @@ struct SpanInner {
     fields: Vec<(&'static str, Value)>,
 }
 
-/// Opens a span at `level` named `name`.
+/// Opens a span at `level` named `name`. Thread-local context fields
+/// ([`crate::push_context`]) are prepended automatically.
 pub fn span(level: Level, name: &'static str) -> Span {
     Span {
         inner: enabled(level).then(|| SpanInner {
@@ -254,7 +256,7 @@ pub fn span(level: Level, name: &'static str) -> Span {
             name,
             start: Instant::now(),
             start_us: now_us(),
-            fields: Vec::new(),
+            fields: crate::context::snapshot(),
         }),
     }
 }

@@ -67,11 +67,13 @@
 
 #![deny(missing_docs)]
 
+mod context;
 mod event;
 mod json;
 mod sink;
 pub mod trace;
 
+pub use context::{push_context, ContextGuard};
 pub use event::{counter, event, gauge, span, Event, EventBuilder, Kind, Span, Value};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
 

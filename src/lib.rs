@@ -30,6 +30,7 @@ pub use nofis_circuit as circuit;
 pub use nofis_core as core;
 pub use nofis_faults as faults;
 pub use nofis_flows as flows;
+pub use nofis_jobs as jobs;
 pub use nofis_linalg as linalg;
 pub use nofis_nn as nn;
 pub use nofis_parallel as parallel;

@@ -63,6 +63,7 @@ fn keep_all(dir: &Path) -> CheckpointConfig {
         dir: dir.to_path_buf(),
         every_steps: 1,
         keep: 1000,
+        namespace: None,
     }
 }
 
@@ -268,6 +269,7 @@ fn rotation_bounds_disk_usage() {
         dir: dir.clone(),
         every_steps: 1,
         keep: 3,
+        namespace: None,
     }));
     let nofis = Nofis::new(cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(42);

@@ -192,6 +192,7 @@ fn fault_matrix_never_panics_never_overruns() {
         dir: dir.clone(),
         every_steps: 1,
         keep: 1000,
+        namespace: None,
     });
     let (faulted, _, installed) = run_under("ckpt_fail@0x5", cfg.clone(), 42);
     assert!(
