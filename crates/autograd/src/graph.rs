@@ -20,8 +20,15 @@ impl ParamId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
+impl Var {
+    /// Tape position of this node (used by the compiled-tape lowering).
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// Constant leaf: gradients stop here.
     Leaf,
     /// Parameter leaf: gradients are collected per [`ParamId`].
@@ -43,7 +50,10 @@ enum Op {
         tanh: bool,
     },
     Scale(Var, f64),
-    AddScalar(Var),
+    /// Adds the stored constant to every entry. The scalar is not needed by
+    /// the backward pass (the gradient is a pass-through copy) but is kept
+    /// on the tape so the compiled-tape lowering can replay the forward op.
+    AddScalar(Var, f64),
     Neg(Var),
     Tanh(Var),
     /// Fused `s · tanh(x)` — the coupling-layer log-scale clamp.
@@ -187,16 +197,57 @@ fn pooled_zip(
     Tensor::from_vec(a.rows(), a.cols(), data)
 }
 
-fn pooled_transpose(pool: &mut BufferPool, src: &Tensor) -> Tensor {
-    let (n, d) = src.shape();
-    let mut data = pool.take_uninit(n * d);
-    // Sequential in the output (column of `src` after column), so the
-    // buffer is written exactly once — no zero-fill pass.
-    let s = src.as_slice();
-    for c in 0..d {
-        data.extend((0..n).map(|r| s[r * d + c]));
-    }
-    Tensor::from_vec(d, n, data)
+/// `a @ bᵀ` into a pooled buffer through the transpose-free backward
+/// kernel. Bitwise identical to materializing `transpose(b)` and calling
+/// [`pooled_matmul`] — same reduction order, same zero-skip, same
+/// row-partitioned parallel chunking — without the transpose buffer.
+fn pooled_matmul_bt(pool: &mut BufferPool, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_bt of {}x{} by ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = pooled_zeros(pool, a.rows(), b.rows());
+    nofis_parallel::kernels::matmul_bt_into(
+        nofis_parallel::global(),
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        a.rows(),
+        a.cols(),
+        b.rows(),
+    );
+    out
+}
+
+/// `aᵀ @ b` into a pooled buffer through the transpose-free backward
+/// kernel. Bitwise identical to materializing `transpose(a)` and calling
+/// [`pooled_matmul`], without the transpose buffer.
+fn pooled_matmul_at(pool: &mut BufferPool, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at of ({}x{})ᵀ by {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = pooled_zeros(pool, a.cols(), b.cols());
+    nofis_parallel::kernels::matmul_at_into(
+        nofis_parallel::global(),
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        a.rows(),
+        a.cols(),
+        b.cols(),
+    );
+    out
 }
 
 /// `a @ b` into a pooled buffer, through the same shared kernel as
@@ -347,6 +398,22 @@ impl Graph {
     /// Whether `v` has a trainable ancestor (always `true` without pruning).
     fn rg(&self, v: Var) -> bool {
         self.nodes[v.0].requires_grad
+    }
+
+    /// The op recorded at tape position `i` (compiled-tape lowering).
+    pub(crate) fn node_op(&self, i: usize) -> &Op {
+        &self.nodes[i].op
+    }
+
+    /// The forward value at tape position `i` (compiled-tape lowering).
+    pub(crate) fn node_value(&self, i: usize) -> &Tensor {
+        &self.nodes[i].value
+    }
+
+    /// Whether the node at tape position `i` requires gradients
+    /// (compiled-tape lowering).
+    pub(crate) fn node_requires_grad(&self, i: usize) -> bool {
+        self.nodes[i].requires_grad
     }
 
     /// The forward value of `v`.
@@ -543,13 +610,14 @@ impl Graph {
             nodes[b.0].value.shape()
         );
         // One slice pass over the rows; per element the arithmetic is
-        // exactly `(xw + bias).tanh()`, the same add-then-activate each
-        // element sees in the composed chain.
+        // exactly `tanh(xw + bias)` through the shared deterministic
+        // kernel, the same add-then-activate each element sees in the
+        // composed chain.
         let bias = nodes[b.0].value.as_slice();
         if apply_tanh {
             for row in out.as_mut_slice().chunks_exact_mut(d) {
                 for (v, &bv) in row.iter_mut().zip(bias) {
-                    *v = (*v + bv).tanh();
+                    *v = nofis_parallel::math::tanh(*v + bv);
                 }
             }
         } else {
@@ -585,7 +653,7 @@ impl Graph {
         let Graph { nodes, pool, .. } = self;
         let out = pooled_map(pool, &nodes[a.0].value, |x| x + s);
         let rg = self.rg(a);
-        self.push(out, Op::AddScalar(a), rg)
+        self.push(out, Op::AddScalar(a, s), rg)
     }
 
     /// Elementwise negation.
@@ -599,7 +667,7 @@ impl Graph {
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
         let Graph { nodes, pool, .. } = self;
-        let out = pooled_map(pool, &nodes[a.0].value, f64::tanh);
+        let out = pooled_map(pool, &nodes[a.0].value, nofis_parallel::math::tanh);
         let rg = self.rg(a);
         self.push(out, Op::Tanh(a), rg)
     }
@@ -608,7 +676,9 @@ impl Graph {
     /// node; value and gradient are bitwise identical to `scale(tanh(x), s)`.
     pub fn tanh_scale(&mut self, a: Var, s: f64) -> Var {
         let Graph { nodes, pool, .. } = self;
-        let out = pooled_map(pool, &nodes[a.0].value, |x| x.tanh() * s);
+        let out = pooled_map(pool, &nodes[a.0].value, |x| {
+            nofis_parallel::math::tanh(x) * s
+        });
         let rg = self.rg(a);
         self.push(out, Op::TanhScale(a, s), rg)
     }
@@ -760,18 +830,7 @@ impl Graph {
         pool: &nofis_parallel::ThreadPool,
         f: impl Fn(&[f64]) -> (f64, Vec<f64>) + Sync,
     ) -> Var {
-        /// Rows per chunk — fixed so chunk boundaries never depend on the
-        /// thread count.
-        const ROW_CHUNK: usize = 16;
-
         let (n, d) = self.value(a).shape();
-        let input = self.value(a);
-        let n_chunks = nofis_parallel::chunks::chunk_count(n, ROW_CHUNK);
-        let per_chunk: Vec<Vec<(f64, Vec<f64>)>> = pool.map_chunks(n_chunks, |ci| {
-            let (start, end) = nofis_parallel::chunks::chunk_range(n, ROW_CHUNK, ci);
-            (start..end).map(|r| f(input.row(r))).collect()
-        });
-
         let mut out = {
             let Graph { pool, .. } = self;
             pooled_zeros(pool, n, 1)
@@ -780,16 +839,7 @@ impl Graph {
             let Graph { pool, .. } = self;
             pooled_zeros(pool, n, d)
         };
-        for (r, (v, grad)) in per_chunk.into_iter().flatten().enumerate() {
-            assert_eq!(
-                grad.len(),
-                d,
-                "external gradient has length {} but input has {d} columns",
-                grad.len()
-            );
-            out[(r, 0)] = v;
-            grads.row_mut(r).copy_from_slice(&grad);
-        }
+        eval_external_rows(self.value(a), pool, &f, &mut out, &mut grads);
         let rg = self.rg(a);
         self.push(out, Op::External { input: a, grads }, rg)
     }
@@ -971,20 +1021,14 @@ impl Graph {
                 if self.rg(a) {
                     let ga = {
                         let Graph { nodes, pool, .. } = self;
-                        let bt = pooled_transpose(pool, &nodes[b.0].value);
-                        let ga = pooled_matmul(pool, up, &bt);
-                        pool.put(bt.into_vec());
-                        ga
+                        pooled_matmul_bt(pool, up, &nodes[b.0].value)
                     };
                     self.accumulate(a, ga);
                 }
                 if self.rg(b) {
                     let gb = {
                         let Graph { nodes, pool, .. } = self;
-                        let at = pooled_transpose(pool, &nodes[a.0].value);
-                        let gb = pooled_matmul(pool, &at, up);
-                        pool.put(at.into_vec());
-                        gb
+                        pooled_matmul_at(pool, &nodes[a.0].value, up)
                     };
                     self.accumulate(b, gb);
                 }
@@ -999,7 +1043,7 @@ impl Graph {
                     self.accumulate(a, d);
                 }
             }
-            Op::AddScalar(a) => {
+            Op::AddScalar(a, _) => {
                 if self.rg(a) {
                     let d = {
                         let Graph { pool, .. } = self;
@@ -1034,7 +1078,7 @@ impl Graph {
                     let g = {
                         let Graph { nodes, pool, .. } = self;
                         pooled_zip(pool, up, &nodes[a.0].value, |u, xv| {
-                            let t = xv.tanh();
+                            let t = nofis_parallel::math::tanh(xv);
                             (u * s) * (1.0 - t * t)
                         })
                     };
@@ -1220,20 +1264,14 @@ impl Graph {
             if self.rg(x) {
                 let gx = {
                     let Graph { nodes, pool, .. } = self;
-                    let wt = pooled_transpose(pool, &nodes[w.0].value);
-                    let gx = pooled_matmul(pool, dpre, &wt);
-                    pool.put(wt.into_vec());
-                    gx
+                    pooled_matmul_bt(pool, dpre, &nodes[w.0].value)
                 };
                 self.accumulate(x, gx);
             }
             if self.rg(w) {
                 let gw = {
                     let Graph { nodes, pool, .. } = self;
-                    let xt = pooled_transpose(pool, &nodes[x.0].value);
-                    let gw = pooled_matmul(pool, &xt, dpre);
-                    pool.put(xt.into_vec());
-                    gw
+                    pooled_matmul_at(pool, &nodes[x.0].value, dpre)
                 };
                 self.accumulate(w, gw);
             }
@@ -1273,6 +1311,47 @@ impl Graph {
                 f(*id, g);
             }
         }
+    }
+}
+
+/// Rows per external-evaluation chunk — fixed so chunk boundaries never
+/// depend on the thread count.
+pub(crate) const EXTERNAL_ROW_CHUNK: usize = 16;
+
+/// Chunk-parallel row-wise oracle evaluation shared by
+/// [`Graph::external_rowwise_par`] and the compiled-tape replay path:
+/// rows are evaluated in fixed [`EXTERNAL_ROW_CHUNK`]-sized chunks across
+/// `pool` and written back in row order, so results are bitwise identical
+/// at any thread count and between both call sites.
+///
+/// # Panics
+///
+/// Panics if `f` returns a gradient whose length differs from `input`'s
+/// column count.
+pub(crate) fn eval_external_rows(
+    input: &Tensor,
+    pool: &nofis_parallel::ThreadPool,
+    f: &(impl Fn(&[f64]) -> (f64, Vec<f64>) + Sync),
+    out: &mut Tensor,
+    grads: &mut Tensor,
+) {
+    let (n, d) = input.shape();
+    debug_assert_eq!(out.shape(), (n, 1), "external value buffer shape");
+    debug_assert_eq!(grads.shape(), (n, d), "external gradient buffer shape");
+    let n_chunks = nofis_parallel::chunks::chunk_count(n, EXTERNAL_ROW_CHUNK);
+    let per_chunk: Vec<Vec<(f64, Vec<f64>)>> = pool.map_chunks(n_chunks, |ci| {
+        let (start, end) = nofis_parallel::chunks::chunk_range(n, EXTERNAL_ROW_CHUNK, ci);
+        (start..end).map(|r| f(input.row(r))).collect()
+    });
+    for (r, (v, grad)) in per_chunk.into_iter().flatten().enumerate() {
+        assert_eq!(
+            grad.len(),
+            d,
+            "external gradient has length {} but input has {d} columns",
+            grad.len()
+        );
+        out[(r, 0)] = v;
+        grads.row_mut(r).copy_from_slice(&grad);
     }
 }
 

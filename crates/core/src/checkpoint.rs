@@ -1006,10 +1006,11 @@ mod tests {
         let mut observed = base.clone();
         observed.threads = Some(3);
         observed.checkpoint = Some(CheckpointConfig::new("/tmp/x"));
+        observed.compile_tape = !base.compile_tape;
         assert_eq!(
             fp,
             config_fingerprint(&observed, 6),
-            "observability knobs are excluded"
+            "observability and execution-engine knobs are excluded"
         );
     }
 }

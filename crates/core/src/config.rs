@@ -77,6 +77,15 @@ pub struct NofisConfig {
     /// DESIGN.md §9), so this is purely a speed knob; `false` restores the
     /// exhaustive backward pass.
     pub prune_frozen: bool,
+    /// Trace-once/replay execution (DESIGN.md §13): build the training tape
+    /// once per (minibatch shape, stage depth, frozen mask), lower it to a
+    /// flat `CompiledStep` instruction stream with preplanned buffers, and
+    /// replay that for subsequent steps — no per-step tape construction.
+    /// Replays are bitwise identical to the interpreted engine (enforced by
+    /// `tests/compiled_equivalence.rs`), so this is purely a speed knob.
+    /// The `NOFIS_COMPILE` environment variable (`0`/`1`) overrides it in
+    /// [`Nofis::new`](crate::Nofis::new).
+    pub compile_tape: bool,
     /// Optional hard cap on total simulator calls for
     /// [`Nofis::run`](crate::Nofis::run) /
     /// [`Nofis::train`](crate::Nofis::train). When the cap is hit, the
@@ -144,6 +153,7 @@ impl Default for NofisConfig {
             minibatch: 64,
             freeze: true,
             prune_frozen: true,
+            compile_tape: true,
             max_calls: None,
             max_grad_norm: Some(100.0),
             stage_retries: 2,
@@ -307,6 +317,35 @@ impl NofisConfig {
             }
         }
         Ok(())
+    }
+
+    /// Applies the `NOFIS_COMPILE` environment override to
+    /// [`NofisConfig::compile_tape`] (called by
+    /// [`Nofis::new`](crate::Nofis::new)): `0` disables the compiled
+    /// trace-once/replay engine, `1` enables it, unset leaves the field
+    /// as configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the variable is set to anything other
+    /// than `0` or `1`.
+    pub(crate) fn apply_compile_env(&mut self) -> Result<(), ConfigError> {
+        match std::env::var("NOFIS_COMPILE") {
+            Ok(raw) => match raw.trim() {
+                "0" => {
+                    self.compile_tape = false;
+                    Ok(())
+                }
+                "1" => {
+                    self.compile_tape = true;
+                    Ok(())
+                }
+                _ => Err(ConfigError::new(format!(
+                    "NOFIS_COMPILE must be 0 or 1, got {raw:?}"
+                ))),
+            },
+            Err(_) => Ok(()),
+        }
     }
 
     /// The simulator-call budget training will consume (`M·E·N` plus any

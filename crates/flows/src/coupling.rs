@@ -132,7 +132,7 @@ impl AffineCoupling {
         let s: Vec<f64> = s_raw
             .as_slice()
             .iter()
-            .map(|&v| self.s_max * v.tanh())
+            .map(|&v| self.s_max * nofis_parallel::math::tanh(v))
             .collect();
         (s, t.as_slice().to_vec())
     }

@@ -18,6 +18,9 @@
 //!   row-major `f64` buffers with a serial fallback below a size threshold;
 //!   the shared kernel behind both `nofis_linalg::Matrix::matmul` and
 //!   `nofis_autograd::Tensor::matmul` (forward *and* backward).
+//! * [`math`] — deterministic scalar transcendentals ([`math::fast_tanh`]
+//!   and the once-read `NOFIS_REFERENCE_MATH` switch back to libm) shared
+//!   by the interpreted graph and the compiled-tape replay engine.
 //! * [`global`] / [`default_threads`] — a process-wide pool sized from (in
 //!   precedence order) the `NOFIS_THREADS` environment variable, an
 //!   explicit [`set_thread_override`] (wired to `NofisConfig::threads`),
@@ -45,6 +48,7 @@
 
 pub mod chunks;
 pub mod kernels;
+pub mod math;
 mod pool;
 
 pub use pool::{LaneGuard, PoolUsage, ThreadPool};
